@@ -1,0 +1,395 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§V), plus ablations for the design choices DESIGN.md calls
+// out. Each benchmark iteration executes the full experiment at a
+// reduced workload scale (the shapes survive scaling; see EXPERIMENTS.md)
+// and reports the paper's headline quantities as custom metrics:
+//
+//	sim-seconds-general / sim-seconds-eager   simulated time to converge
+//	iters-general / iters-eager               global iterations
+//	speedup                                   general / eager time
+//
+// Run the full paper-size experiments with cmd/asyncmr -scale 1 instead;
+// benchmarks exist to track regressions in both correctness shape and
+// real (wall-clock) engine performance.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/kmeans"
+	"repro/internal/mapreduce"
+	"repro/internal/pagerank"
+	"repro/internal/partition"
+	"repro/internal/sssp"
+)
+
+// benchScale shrinks workloads so a full figure regenerates in seconds.
+const benchScale = 16
+
+func reportPair(b *testing.B, itFig, tFig *harness.Figure) {
+	b.Helper()
+	genT, eagT := tFig.Series[0].Y, tFig.Series[1].Y
+	genIt, eagIt := itFig.Series[0].Y, itFig.Series[1].Y
+	var gt, et, gi, ei float64
+	for i := range genT {
+		gt += genT[i]
+		et += eagT[i]
+		gi += genIt[i]
+		ei += eagIt[i]
+	}
+	n := float64(len(genT))
+	b.ReportMetric(gt/n, "sim-seconds-general")
+	b.ReportMetric(et/n, "sim-seconds-eager")
+	b.ReportMetric(gi/n, "iters-general")
+	b.ReportMetric(ei/n, "iters-eager")
+	if et > 0 {
+		b.ReportMetric(gt/et, "speedup")
+	}
+}
+
+// --- Tables ----------------------------------------------------------
+
+func BenchmarkTable1ClusterConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.EC2LargeCluster()
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		_ = cluster.New(cfg)
+	}
+}
+
+func BenchmarkTable2GraphGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ga := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+		gb := graph.MustGenerate(graph.GraphBConfig().Scaled(benchScale))
+		b.ReportMetric(float64(ga.NumEdges()), "edges-graphA")
+		b.ReportMetric(float64(gb.NumEdges()), "edges-graphB")
+	}
+}
+
+// --- PageRank: Figures 2-5 --------------------------------------------
+
+func benchPagerankFigures(b *testing.B, graphB bool) {
+	for i := 0; i < b.N; i++ {
+		s := harness.NewSuite(benchScale)
+		var itFig, tFig *harness.Figure
+		var err error
+		if graphB {
+			itFig, tFig, err = s.Figures3and5()
+		} else {
+			itFig, tFig, err = s.Figures2and4()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPair(b, itFig, tFig)
+	}
+}
+
+func BenchmarkFigure2PageRankIterationsGraphA(b *testing.B) { benchPagerankFigures(b, false) }
+func BenchmarkFigure3PageRankIterationsGraphB(b *testing.B) { benchPagerankFigures(b, true) }
+
+// Figures 4 and 5 come from the same sweeps; separate benches keep the
+// per-figure regeneration map explicit.
+func BenchmarkFigure4PageRankTimeGraphA(b *testing.B) { benchPagerankFigures(b, false) }
+func BenchmarkFigure5PageRankTimeGraphB(b *testing.B) { benchPagerankFigures(b, true) }
+
+// --- SSSP: Figures 6-7 -------------------------------------------------
+
+func benchSSSPFigures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := harness.NewSuite(benchScale)
+		itFig, tFig, err := s.Figures6and7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPair(b, itFig, tFig)
+	}
+}
+
+func BenchmarkFigure6SSSPIterationsGraphA(b *testing.B) { benchSSSPFigures(b) }
+func BenchmarkFigure7SSSPTimeGraphA(b *testing.B)       { benchSSSPFigures(b) }
+
+// --- K-Means: Figures 8-9 ----------------------------------------------
+
+func benchKMeansFigures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := harness.NewSuite(benchScale) // harness caps K-Means scale internally
+		itFig, tFig, err := s.Figures8and9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPair(b, itFig, tFig)
+	}
+}
+
+func BenchmarkFigure8KMeansIterations(b *testing.B) { benchKMeansFigures(b) }
+func BenchmarkFigure9KMeansTime(b *testing.B)       { benchKMeansFigures(b) }
+
+// --- §VI scalability -----------------------------------------------------
+
+func BenchmarkScalability460(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := harness.NewSuite(benchScale)
+		fig, err := s.Scalability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gt, et := fig.Series[0].Y, fig.Series[1].Y
+		b.ReportMetric(gt[0], "sim-seconds-general")
+		b.ReportMetric(et[0], "sim-seconds-eager")
+		if et[0] > 0 {
+			b.ReportMetric(gt[0]/et[0], "speedup")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) --------------------------------------------
+
+// fixture shared by the ablation benches.
+type prFixture struct {
+	g    *graph.Graph
+	subs map[string][]*graph.SubGraph
+}
+
+func buildPRFixture(b *testing.B, methods []partition.Method, k int) *prFixture {
+	b.Helper()
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	f := &prFixture{g: g, subs: map[string][]*graph.SubGraph{}}
+	for _, m := range methods {
+		a, err := partition.Partition(g, k, partition.Options{Method: m, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.subs[m.String()] = subs
+	}
+	return f
+}
+
+func ec2Engine() *mapreduce.Engine {
+	return mapreduce.NewEngine(cluster.New(cluster.EC2LargeCluster()))
+}
+
+// BenchmarkAblationPartitioner measures how partitioner quality (edge
+// cut) drives the eager formulation's iteration count and simulated time
+// (locality-enhancing partitioning is load-bearing: §V-B3).
+func BenchmarkAblationPartitioner(b *testing.B) {
+	methods := []partition.Method{partition.Multilevel, partition.Hash}
+	k := 200 / benchScale * 4
+	f := buildPRFixture(b, methods, k)
+	for _, m := range methods {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pagerank.Run(ec2Engine(), f.subs[m.String()], pagerank.DefaultConfig(), true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.GlobalIterations), "iters-eager")
+				b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-eager")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLocalIterations sweeps the local iteration cap:
+// 1 local sweep degenerates toward the general formulation; unbounded
+// local convergence is the paper's eager scheduling.
+func BenchmarkAblationLocalIterations(b *testing.B) {
+	f := buildPRFixture(b, []partition.Method{partition.Multilevel}, 8)
+	for _, cap := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("cap=%d", cap)
+		if cap == 0 {
+			name = "cap=convergence"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := pagerank.DefaultConfig()
+				cfg.MaxLocalIters = cap
+				res, err := pagerank.Run(ec2Engine(), f.subs["multilevel"], cfg, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Stats.GlobalIterations), "iters-eager")
+				b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-eager")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCombiner measures the shuffle reduction from a Hadoop
+// combiner on the general formulation (§V-A: combiners compose with the
+// partial synchronization API).
+func BenchmarkAblationCombiner(b *testing.B) {
+	f := buildPRFixture(b, []partition.Method{partition.Multilevel}, 8)
+	for _, comb := range []bool{false, true} {
+		b.Run(fmt.Sprintf("combiner=%v", comb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := pagerank.DefaultConfig()
+				cfg.Combiner = comb
+				res, err := pagerank.Run(ec2Engine(), f.subs["multilevel"], cfg, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var bytes float64
+				for _, it := range res.Stats.PerIteration {
+					bytes += float64(it.ShuffleBytes)
+				}
+				b.ReportMetric(bytes/1e6, "shuffle-MB")
+				b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-general")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNetwork reproduces the §II claim that partial
+// synchronization gains are amplified on cloud networks relative to HPC
+// interconnects: the same workload on both cluster models.
+func BenchmarkAblationNetwork(b *testing.B) {
+	f := buildPRFixture(b, []partition.Method{partition.Multilevel}, 8)
+	for _, tc := range []struct {
+		name string
+		cfg  *cluster.Config
+	}{
+		{"cloud-ec2", cluster.EC2LargeCluster()},
+		{"hpc", cluster.HPCCluster()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := func() *mapreduce.Engine { return mapreduce.NewEngine(cluster.New(tc.cfg)) }
+				gen, err := pagerank.Run(eng(), f.subs["multilevel"], pagerank.DefaultConfig(), false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eag, err := pagerank.Run(eng(), f.subs["multilevel"], pagerank.DefaultConfig(), true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(gen.Stats.Duration.Seconds()/eag.Stats.Duration.Seconds(), "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFaults measures recovery overhead under transient
+// task failures (§VI: coarser eager tasks replay more work per failure,
+// but overhead stays modest).
+func BenchmarkAblationFaults(b *testing.B) {
+	f := buildPRFixture(b, []partition.Method{partition.Multilevel}, 8)
+	for _, prob := range []float64{0, 0.01, 0.05} {
+		b.Run(fmt.Sprintf("p=%g", prob), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.EC2LargeCluster()
+				cfg.FailureProb = prob
+				eng := mapreduce.NewEngine(cluster.New(cfg))
+				res, err := pagerank.Run(eng, f.subs["multilevel"], pagerank.DefaultConfig(), true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var failures float64
+				for _, it := range res.Stats.PerIteration {
+					failures += float64(it.Failures)
+				}
+				b.ReportMetric(failures, "task-failures")
+				b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-eager")
+			}
+		})
+	}
+}
+
+// --- engine micro-benchmarks (real wall-clock performance) ---------------
+
+func BenchmarkEngineWordCount(b *testing.B) {
+	splits := make([]mapreduce.Split[string], 64)
+	for i := range splits {
+		splits[i] = mapreduce.Split[string]{
+			ID: i, Data: "a b c d e f g h i j", Records: 10, Bytes: 20,
+		}
+	}
+	job := &mapreduce.Job[string, string, int]{
+		Name: "wc",
+		Map: func(ctx *mapreduce.TaskContext[string, int], split mapreduce.Split[string]) {
+			start := 0
+			s := split.Data
+			for i := 0; i <= len(s); i++ {
+				if i == len(s) || s[i] == ' ' {
+					if i > start {
+						ctx.Emit(s[start:i], 1)
+					}
+					start = i + 1
+				}
+			}
+		},
+		Reduce: func(ctx *mapreduce.TaskContext[string, int], key string, values []int) {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			ctx.Emit(key, sum)
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapreduce.Run(ec2Engine(), job, splits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionerMultilevel(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Partition(g, 50, partition.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	cfg := graph.GraphAConfig().Scaled(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.MustGenerate(cfg)
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkCensusGeneration(b *testing.B) {
+	cfg := kmeans.DefaultCensusConfig().Scaled(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kmeans.GenerateCensus(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSSPEagerSingleRun(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	g.AssignUniformWeights(1, 100, 42)
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sssp.Run(ec2Engine(), subs, sssp.Config{Source: 0}, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

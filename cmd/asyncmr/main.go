@@ -1,0 +1,123 @@
+// Command asyncmr regenerates the paper's tables and figures
+// ("Asynchronous Algorithms in MapReduce", Kambatla et al., CLUSTER
+// 2010) on the simulated 8-node EC2 Hadoop testbed.
+//
+// Usage:
+//
+//	asyncmr [-scale N] [-v] table1|table2|figure2|...|figure9|scale|all
+//
+// With -scale 1 the workloads match the paper's sizes (280K/100K-node
+// graphs, 200K census points); the default scale 8 runs the whole suite
+// in under a couple of minutes with the same qualitative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "workload scale divisor; 1 = paper-size inputs")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := harness.NewSuite(*scale)
+	s.Quiet = !*verbose
+	s.Out = os.Stderr
+
+	if err := run(s, flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "asyncmr: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *harness.Suite, what string) error {
+	out := os.Stdout
+	renderPair := func(a, b *harness.Figure, first bool) {
+		if first {
+			a.Render(out)
+		} else {
+			b.Render(out)
+		}
+	}
+	switch what {
+	case "table1":
+		s.Table1(out)
+	case "table2":
+		return s.Table2(out)
+	case "figure2", "figure4":
+		f2, f4, err := s.Figures2and4()
+		if err != nil {
+			return err
+		}
+		renderPair(f2, f4, what == "figure2")
+	case "figure3", "figure5":
+		f3, f5, err := s.Figures3and5()
+		if err != nil {
+			return err
+		}
+		renderPair(f3, f5, what == "figure3")
+	case "figure6", "figure7":
+		f6, f7, err := s.Figures6and7()
+		if err != nil {
+			return err
+		}
+		renderPair(f6, f7, what == "figure6")
+	case "figure8", "figure9":
+		f8, f9, err := s.Figures8and9()
+		if err != nil {
+			return err
+		}
+		renderPair(f8, f9, what == "figure8")
+	case "scale":
+		f, err := s.Scalability()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
+	case "all":
+		s.Table1(out)
+		if err := s.Table2(out); err != nil {
+			return err
+		}
+		f2, f4, err := s.Figures2and4()
+		if err != nil {
+			return err
+		}
+		f3, f5, err := s.Figures3and5()
+		if err != nil {
+			return err
+		}
+		f6, f7, err := s.Figures6and7()
+		if err != nil {
+			return err
+		}
+		f8, f9, err := s.Figures8and9()
+		if err != nil {
+			return err
+		}
+		for _, f := range []*harness.Figure{f2, f3, f4, f5, f6, f7, f8, f9} {
+			f.Render(out)
+		}
+		fs, err := s.Scalability()
+		if err != nil {
+			return err
+		}
+		fs.Render(out)
+	default:
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []*Config{EC2LargeCluster(), CluECluster(), HPCCluster(), SingleNode()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.MapSlotsPerNode = -1 },
+		func(c *Config) { c.ReduceSlotsPerNode = 0 },
+		func(c *Config) { c.ComputeRate = 0 },
+		func(c *Config) { c.NetBandwidth = -5 },
+		func(c *Config) { c.DFSBandwidth = 0 },
+		func(c *Config) { c.DFSReplication = 0 },
+		func(c *Config) { c.FailureProb = 1.5 },
+		func(c *Config) { c.CrossRackFraction = 2 },
+	}
+	for i, mutate := range mutations {
+		cfg := EC2LargeCluster()
+		mutate(cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestTableISpecs(t *testing.T) {
+	// The preset must match the paper's Table I topology: 8 instances.
+	cfg := EC2LargeCluster()
+	if cfg.Nodes != 8 {
+		t.Fatalf("EC2 preset has %d nodes, Table I says 8", cfg.Nodes)
+	}
+	if cfg.DFSReplication != 3 {
+		t.Fatalf("HDFS replication %d, want 3", cfg.DFSReplication)
+	}
+	// The premise of the paper: local sync is orders of magnitude
+	// cheaper than a global barrier.
+	if cfg.LocalSyncOverhead >= cfg.JobOverhead/1000 {
+		t.Fatalf("local sync %v not << job overhead %v", cfg.LocalSyncOverhead, cfg.JobOverhead)
+	}
+}
+
+func TestSlotArithmetic(t *testing.T) {
+	cfg := EC2LargeCluster()
+	if got := cfg.MapSlots(); got != cfg.Nodes*cfg.MapSlotsPerNode {
+		t.Fatalf("MapSlots = %d", got)
+	}
+	if got := cfg.ReduceSlots(); got != cfg.Nodes*cfg.ReduceSlotsPerNode {
+		t.Fatalf("ReduceSlots = %d", got)
+	}
+}
+
+func TestComputeCostLinear(t *testing.T) {
+	c := New(EC2LargeCluster())
+	d1 := c.ComputeCost(1000)
+	d2 := c.ComputeCost(2000)
+	if math.Abs(float64(d2)-2*float64(d1)) > 1e-12 {
+		t.Fatalf("compute cost not linear: %v vs %v", d1, d2)
+	}
+	if c.ComputeCost(0) != 0 {
+		t.Fatal("zero ops should cost zero")
+	}
+}
+
+func TestTransferCostMonotone(t *testing.T) {
+	c := New(EC2LargeCluster())
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.TransferCost(x) <= c.TransferCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Latency floor.
+	if c.TransferCost(1) < c.Config().NetLatency {
+		t.Fatal("transfer cheaper than latency")
+	}
+}
+
+func TestCrossRackSlowsTransfers(t *testing.T) {
+	flat := New(EC2LargeCluster())
+	congested := EC2LargeCluster()
+	congested.CrossRackFraction = 0.8
+	cc := New(congested)
+	const bytes = 100 << 20
+	if cc.TransferCost(bytes) <= flat.TransferCost(bytes) {
+		t.Fatal("cross-rack oversubscription did not slow transfer")
+	}
+}
+
+func TestDFSCosts(t *testing.T) {
+	c := New(EC2LargeCluster())
+	if c.DFSWriteCost(0) != 0 || c.DFSReadCost(0, true) != 0 {
+		t.Fatal("zero bytes should cost zero")
+	}
+	// Remote reads cost more than local.
+	if c.DFSReadCost(1<<20, false) <= c.DFSReadCost(1<<20, true) {
+		t.Fatal("remote read not more expensive than local")
+	}
+	// Write pays the replication pipeline fill.
+	w := c.DFSWriteCost(1 << 20)
+	if w <= simtime.Duration(float64(1<<20)/c.Config().DFSBandwidth) {
+		t.Fatal("write cheaper than single-copy disk stream")
+	}
+}
+
+func TestHPCCheaperSyncThanCloud(t *testing.T) {
+	// The §II premise: global synchronization costs much less on an HPC
+	// interconnect, so the eager advantage shrinks there.
+	hpc, ec2 := HPCCluster(), EC2LargeCluster()
+	if hpc.JobOverhead >= ec2.JobOverhead/10 {
+		t.Fatal("HPC job overhead not substantially cheaper")
+	}
+	if hpc.NetLatency >= ec2.NetLatency {
+		t.Fatal("HPC latency not cheaper")
+	}
+}
+
+func TestTaskAttemptsDeterministicAndBounded(t *testing.T) {
+	cfg := EC2LargeCluster()
+	cfg.FailureProb = 0.3 // exaggerated for the test
+	a := New(cfg)
+	b := New(cfg)
+	totalA, totalB := 0, 0
+	for i := 0; i < 1000; i++ {
+		at, wa := a.TaskAttempts()
+		bt, wb := b.TaskAttempts()
+		if at != bt || wa != wb {
+			t.Fatalf("attempt streams diverged at %d", i)
+		}
+		if at < 1 || at > 17 {
+			t.Fatalf("attempts %d out of bounds", at)
+		}
+		if wa < 0 {
+			t.Fatalf("negative wasted work %g", wa)
+		}
+		totalA += at
+		totalB += bt
+	}
+	// Roughly geometric: mean attempts ~ 1/(1-p) = 1.43.
+	mean := float64(totalA) / 1000
+	if mean < 1.2 || mean > 1.7 {
+		t.Fatalf("mean attempts %g, want ~1.43", mean)
+	}
+}
+
+func TestNoFailuresWhenDisabled(t *testing.T) {
+	cfg := EC2LargeCluster()
+	cfg.FailureProb = 0
+	c := New(cfg)
+	for i := 0; i < 100; i++ {
+		if a, w := c.TaskAttempts(); a != 1 || w != 0 {
+			t.Fatal("failure sampled with FailureProb=0")
+		}
+	}
+}
+
+func TestStragglerFactorBounds(t *testing.T) {
+	c := New(EC2LargeCluster())
+	for i := 0; i < 10000; i++ {
+		f := c.StragglerFactor()
+		if f < 0.7 {
+			t.Fatalf("straggler factor %g below floor", f)
+		}
+		if f > 3 {
+			t.Fatalf("straggler factor %g implausibly high", f)
+		}
+	}
+	cfg := EC2LargeCluster()
+	cfg.StragglerJitter = 0
+	if New(cfg).StragglerFactor() != 1 {
+		t.Fatal("jitter disabled but factor != 1")
+	}
+}
+
+func TestResetRestoresDeterminism(t *testing.T) {
+	c := New(EC2LargeCluster())
+	c.Clock().Advance(5)
+	first := make([]float64, 50)
+	for i := range first {
+		first[i] = c.StragglerFactor()
+	}
+	c.Account(func(m *Metrics) { m.Jobs += 3 })
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind clock")
+	}
+	if c.Metrics().Jobs != 0 {
+		t.Fatal("Reset did not clear metrics")
+	}
+	for i := range first {
+		if got := c.StragglerFactor(); got != first[i] {
+			t.Fatalf("RNG not reseeded at %d", i)
+		}
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	c := New(EC2LargeCluster())
+	c.Account(func(m *Metrics) {
+		m.MapTasks += 7
+		m.ShuffleBytes += 1024
+	})
+	snap := c.Metrics()
+	if snap.MapTasks != 7 || snap.ShuffleBytes != 1024 {
+		t.Fatalf("metrics snapshot %+v", snap)
+	}
+	// Snapshot is a copy: mutating the cluster later is invisible.
+	c.Account(func(m *Metrics) { m.MapTasks++ })
+	if snap.MapTasks != 7 {
+		t.Fatal("snapshot aliased live metrics")
+	}
+	if s := snap.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(&Config{})
+}

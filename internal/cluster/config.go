@@ -1,0 +1,210 @@
+// Package cluster simulates the distributed execution platform the paper
+// evaluated on: an 8-node Amazon EC2 cluster running Hadoop 0.20.1
+// (paper Table I). The simulator does not model packets or disks
+// byte-by-byte; it charges virtual time (package simtime) for the cost
+// components that dominate an iterative Hadoop job on a cloud —
+// per-job scheduling overhead, task launch, record processing, the shuffle
+// (network latency + bandwidth + sort), and DFS reads/writes with
+// replication — using constants calibrated to Hadoop-0.20-era published
+// measurements. The MapReduce engine (internal/mapreduce) executes real
+// user code over real data and consults this package only for time.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Config describes a simulated cluster. All rates are per simulated
+// second. The zero value is unusable; construct via one of the preset
+// functions or fill every field.
+type Config struct {
+	// Name identifies the preset in reports ("ec2-8xlarge", ...).
+	Name string
+
+	// Nodes is the number of worker hosts.
+	Nodes int
+	// MapSlotsPerNode and ReduceSlotsPerNode mirror Hadoop's static slot
+	// model (mapred.tasktracker.map.tasks.maximum).
+	MapSlotsPerNode    int
+	ReduceSlotsPerNode int
+
+	// ComputeRate is user-compute primitive operations per second per
+	// slot. Applications charge operations (edge relaxations, distance
+	// computations) against this rate.
+	ComputeRate float64
+
+	// MapRecordCost / ReduceRecordCost is the fixed per-record framework
+	// overhead (deserialization, context switches, spill bookkeeping).
+	MapRecordCost    simtime.Duration
+	ReduceRecordCost simtime.Duration
+	// EmitCost is charged per emitted intermediate record (serialize +
+	// buffer + partition).
+	EmitCost simtime.Duration
+	// SortCostPerRecord approximates the merge-sort constant applied
+	// n*log2(n) times during the shuffle sort phase.
+	SortCostPerRecord simtime.Duration
+
+	// NetLatency is the one-way latency of a transfer between two nodes.
+	// NetBandwidth is per-node network bandwidth in bytes/second.
+	NetLatency   simtime.Duration
+	NetBandwidth float64
+	// CrossRackFraction in [0,1] scales effective shuffle bandwidth down
+	// to model oversubscribed aggregation switches on big clusters.
+	CrossRackFraction float64
+
+	// DFSReplication is the HDFS replication factor; writes pay for the
+	// replication pipeline. DFSBandwidth is bytes/second/node for DFS IO.
+	DFSReplication int
+	DFSBandwidth   float64
+
+	// JobOverhead is the fixed per-job cost: job client submission,
+	// JobTracker scheduling, JVM spawning, setup/cleanup tasks. On Hadoop
+	// 0.20 this was tens of seconds and is the term partial
+	// synchronization amortizes away.
+	JobOverhead simtime.Duration
+	// TaskOverhead is the per-task launch cost (heartbeat wait + JVM
+	// reuse path).
+	TaskOverhead simtime.Duration
+
+	// LocalSyncOverhead is the cost of one local (intra-map, in-memory)
+	// synchronization barrier in the partial-synchronization runtime.
+	// The paper's premise is LocalSyncOverhead << JobOverhead.
+	LocalSyncOverhead simtime.Duration
+
+	// CoresPerMapSlot is how many hardware threads one map task can use
+	// for the paper's intra-task local thread pool (§IV: "local map and
+	// local reduce operations can use a thread-pool"). On the Table I
+	// testbed, 8 EC2 compute units over 4 map slots leaves ~2 cores per
+	// slot. Values < 1 are treated as 1.
+	CoresPerMapSlot float64
+
+	// FailureProb is the per-task-attempt probability of a transient
+	// failure; failed attempts are re-executed (deterministic replay),
+	// wasting the fraction of the attempt that had completed.
+	FailureProb float64
+
+	// Seed drives all stochastic elements of the simulation (failure
+	// draws, straggler jitter).
+	Seed uint64
+
+	// StragglerJitter is the relative standard deviation of per-task
+	// slowdown, modeling the heterogeneity Zaharia et al. (OSDI'08)
+	// observed on EC2. 0 disables jitter.
+	StragglerJitter float64
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	case c.MapSlotsPerNode <= 0:
+		return fmt.Errorf("cluster: MapSlotsPerNode must be positive, got %d", c.MapSlotsPerNode)
+	case c.ReduceSlotsPerNode <= 0:
+		return fmt.Errorf("cluster: ReduceSlotsPerNode must be positive, got %d", c.ReduceSlotsPerNode)
+	case c.ComputeRate <= 0:
+		return fmt.Errorf("cluster: ComputeRate must be positive, got %g", c.ComputeRate)
+	case c.NetBandwidth <= 0:
+		return fmt.Errorf("cluster: NetBandwidth must be positive, got %g", c.NetBandwidth)
+	case c.DFSBandwidth <= 0:
+		return fmt.Errorf("cluster: DFSBandwidth must be positive, got %g", c.DFSBandwidth)
+	case c.DFSReplication <= 0:
+		return fmt.Errorf("cluster: DFSReplication must be positive, got %d", c.DFSReplication)
+	case c.FailureProb < 0 || c.FailureProb >= 1:
+		return fmt.Errorf("cluster: FailureProb must be in [0,1), got %g", c.FailureProb)
+	case c.CrossRackFraction < 0 || c.CrossRackFraction > 1:
+		return fmt.Errorf("cluster: CrossRackFraction must be in [0,1], got %g", c.CrossRackFraction)
+	}
+	return nil
+}
+
+// MapSlots returns the cluster-wide number of concurrent map tasks.
+func (c *Config) MapSlots() int { return c.Nodes * c.MapSlotsPerNode }
+
+// ReduceSlots returns the cluster-wide number of concurrent reduce tasks.
+func (c *Config) ReduceSlots() int { return c.Nodes * c.ReduceSlotsPerNode }
+
+// EC2LargeCluster returns the paper's Table I testbed: 8 extra-large EC2
+// instances (8 EC2 compute units, 15 GB RAM each) running Hadoop 0.20.1.
+//
+// Calibration notes (all simulated):
+//   - JobOverhead 12s: Hadoop 0.20 empty-job latency on EC2 was 10-25s
+//     (job submission, scheduling heartbeats, JVM startup, setup/cleanup).
+//   - Record costs of a few microseconds match the ~100-300K records/s/core
+//     throughput of 2010-era Hadoop pipelines.
+//   - 1 Gbps NICs (~110 MB/s effective), intra-EC2 RTT ~0.5 ms.
+//   - HDFS 3-way replication over the same NICs.
+func EC2LargeCluster() *Config {
+	return &Config{
+		Name:               "ec2-8-xlarge",
+		Nodes:              8,
+		MapSlotsPerNode:    4,
+		ReduceSlotsPerNode: 2,
+		ComputeRate:        2.0e7,
+		MapRecordCost:      4 * simtime.Microsecond,
+		ReduceRecordCost:   4 * simtime.Microsecond,
+		EmitCost:           2 * simtime.Microsecond,
+		SortCostPerRecord:  250e-9,
+		NetLatency:         500 * simtime.Microsecond,
+		NetBandwidth:       110e6,
+		CrossRackFraction:  0,
+		DFSReplication:     3,
+		DFSBandwidth:       90e6,
+		JobOverhead:        12 * simtime.Second,
+		TaskOverhead:       800 * simtime.Millisecond,
+		LocalSyncOverhead:  20 * simtime.Microsecond,
+		CoresPerMapSlot:    2,
+		FailureProb:        0.002,
+		Seed:               1,
+		StragglerJitter:    0.08,
+	}
+}
+
+// CluECluster approximates the 460-node IBM-Google CluE cluster the paper
+// used for its scalability remark (§VI): many more nodes, heavily shared
+// network (cross-rack oversubscription), higher scheduling latency.
+func CluECluster() *Config {
+	c := EC2LargeCluster()
+	c.Name = "clue-460"
+	c.Nodes = 460
+	c.MapSlotsPerNode = 2
+	c.ReduceSlotsPerNode = 1
+	c.NetBandwidth = 60e6
+	c.CrossRackFraction = 0.7
+	c.JobOverhead = 25 * simtime.Second
+	c.TaskOverhead = 1500 * simtime.Millisecond
+	c.FailureProb = 0.006
+	c.StragglerJitter = 0.15
+	return c
+}
+
+// HPCCluster models a tightly-coupled parallel machine: same compute but
+// microsecond-scale interconnect and negligible job overhead. Used by the
+// ablation benches to reproduce the paper's §II claim that the benefit of
+// partial synchronization is amplified on distributed (not HPC) platforms.
+func HPCCluster() *Config {
+	c := EC2LargeCluster()
+	c.Name = "hpc-8"
+	c.NetLatency = 2 * simtime.Microsecond
+	c.NetBandwidth = 3e9
+	c.DFSBandwidth = 2e9
+	c.DFSReplication = 1
+	c.JobOverhead = 50 * simtime.Millisecond
+	c.TaskOverhead = 2 * simtime.Millisecond
+	c.FailureProb = 0
+	c.StragglerJitter = 0
+	return c
+}
+
+// SingleNode returns a 1-node configuration, useful in tests where
+// queueing effects should vanish.
+func SingleNode() *Config {
+	c := EC2LargeCluster()
+	c.Name = "single"
+	c.Nodes = 1
+	c.FailureProb = 0
+	c.StragglerJitter = 0
+	return c
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mapreduce"
+)
+
+func testEngine() *mapreduce.Engine {
+	return mapreduce.NewEngine(cluster.New(cluster.SingleNode()))
+}
+
+// counterPart is a toy partition for exercising the local runtime: a set
+// of integer cells that each add 1 per local iteration until they reach
+// a target; used to verify the Figure 1 gmap loop mechanics.
+type counterPart struct {
+	cells  []int
+	target int
+}
+
+func countingSpec(maxLocal int) *LocalSpec[*counterPart, int, int64, int] {
+	return &LocalSpec[*counterPart, int, int64, int]{
+		Elements: func(p *counterPart) []int {
+			elems := make([]int, len(p.cells))
+			for i := range elems {
+				elems[i] = i
+			}
+			return elems
+		},
+		LMap: func(lc *LocalContext[int64, int], p *counterPart, i int) {
+			if p.cells[i] < p.target {
+				lc.EmitLocalIntermediate(int64(i), 1)
+			}
+			lc.Charge(1)
+		},
+		LReduce: func(lc *LocalContext[int64, int], p *counterPart, key int64, values []int) {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			lc.EmitLocal(key, p.cells[key]+sum)
+		},
+		Apply: func(p *counterPart, lc *LocalContext[int64, int]) {
+			lc.State(func(k int64, v int) { p.cells[k] = v })
+		},
+		Converged: func(p *counterPart, lc *LocalContext[int64, int]) bool {
+			for _, c := range p.cells {
+				if c < p.target {
+					return false
+				}
+			}
+			return true
+		},
+		MaxLocalIters: maxLocal,
+	}
+}
+
+func runCounting(t *testing.T, spec *LocalSpec[*counterPart, int, int64, int], part *counterPart) (*mapreduce.Result[int64, int], *counterPart) {
+	t.Helper()
+	job := &mapreduce.Job[*counterPart, int64, int]{
+		Name:      "counting",
+		Map:       BuildGMap(spec),
+		Partition: mapreduce.Int64Partition,
+		Reduce: func(ctx *mapreduce.TaskContext[int64, int], key int64, values []int) {
+			for _, v := range values {
+				ctx.Emit(key, v)
+			}
+		},
+	}
+	res, err := mapreduce.Run(testEngine(), job, []mapreduce.Split[*counterPart]{
+		{ID: 0, Data: part, Records: int64(len(part.cells))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, part
+}
+
+func TestGMapRunsLocalIterationsToConvergence(t *testing.T) {
+	part := &counterPart{cells: []int{0, 2, 4}, target: 5}
+	res, got := runCounting(t, countingSpec(0), part)
+	for i, c := range got.cells {
+		if c != 5 {
+			t.Fatalf("cell %d = %d, want 5", i, c)
+		}
+	}
+	// Local iterations counter: the slowest cell needs 5 increments.
+	if li := res.Counters["core.local_iterations"]; li != 5 {
+		t.Fatalf("local iterations = %d, want 5", li)
+	}
+	// Output is the hashtable (last EmitLocal values).
+	if len(res.Output) != 3 {
+		t.Fatalf("output size %d, want 3", len(res.Output))
+	}
+}
+
+func TestMaxLocalItersDegradesToGeneral(t *testing.T) {
+	part := &counterPart{cells: []int{0, 0, 0}, target: 5}
+	res, got := runCounting(t, countingSpec(1), part)
+	// Exactly one local iteration: every cell advanced once.
+	for i, c := range got.cells {
+		if c != 1 {
+			t.Fatalf("cell %d = %d, want 1 after capped iteration", i, c)
+		}
+	}
+	if li := res.Counters["core.local_iterations"]; li != 1 {
+		t.Fatalf("local iterations = %d, want 1", li)
+	}
+}
+
+func TestLocalSyncsCharged(t *testing.T) {
+	part := &counterPart{cells: []int{0}, target: 7}
+	e := testEngine()
+	job := &mapreduce.Job[*counterPart, int64, int]{
+		Name:      "syncs",
+		Map:       BuildGMap(countingSpec(0)),
+		Partition: mapreduce.Int64Partition,
+		Reduce:    func(ctx *mapreduce.TaskContext[int64, int], key int64, values []int) {},
+	}
+	if _, err := mapreduce.Run(e, job, []mapreduce.Split[*counterPart]{{ID: 0, Data: part, Records: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Cluster().Metrics().LocalSyncs; got != 7 {
+		t.Fatalf("cluster recorded %d local syncs, want 7", got)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	valid := countingSpec(0)
+	cases := []func(*LocalSpec[*counterPart, int, int64, int]){
+		func(s *LocalSpec[*counterPart, int, int64, int]) { s.Elements = nil },
+		func(s *LocalSpec[*counterPart, int, int64, int]) { s.LMap = nil },
+		func(s *LocalSpec[*counterPart, int, int64, int]) { s.LReduce = nil },
+		func(s *LocalSpec[*counterPart, int, int64, int]) { s.Converged = nil; s.MaxLocalIters = 0 },
+	}
+	for i, mutate := range cases {
+		spec := *valid
+		mutate(&spec)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid spec did not panic", i)
+				}
+			}()
+			BuildGMap(&spec)
+		}()
+	}
+}
+
+func TestEmitLocalFromLMapPanics(t *testing.T) {
+	spec := countingSpec(1)
+	spec.Threads = 4
+	spec.LMap = func(lc *LocalContext[int64, int], p *counterPart, i int) {
+		lc.EmitLocal(int64(i), 1) // illegal: writes belong to lreduce
+	}
+	part := &counterPart{cells: make([]int, 64), target: 1}
+	job := &mapreduce.Job[*counterPart, int64, int]{
+		Name:      "illegal",
+		Map:       BuildGMap(spec),
+		Partition: mapreduce.Int64Partition,
+		Reduce:    func(ctx *mapreduce.TaskContext[int64, int], key int64, values []int) {},
+	}
+	_, err := mapreduce.Run(testEngine(), job, []mapreduce.Split[*counterPart]{{ID: 0, Data: part, Records: 1}})
+	if err == nil || !strings.Contains(err.Error(), "EmitLocal") {
+		t.Fatalf("EmitLocal from threaded lmap not rejected: %v", err)
+	}
+}
+
+func TestThreadedLMapMatchesSerial(t *testing.T) {
+	build := func(threads int) *counterPart {
+		part := &counterPart{cells: make([]int, 200), target: 3}
+		spec := countingSpec(0)
+		spec.Threads = threads
+		job := &mapreduce.Job[*counterPart, int64, int]{
+			Name:      "threads",
+			Map:       BuildGMap(spec),
+			Partition: mapreduce.Int64Partition,
+			Reduce:    func(ctx *mapreduce.TaskContext[int64, int], key int64, values []int) {},
+		}
+		if _, err := mapreduce.Run(testEngine(), job, []mapreduce.Split[*counterPart]{{ID: 0, Data: part, Records: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		return part
+	}
+	serial := build(1)
+	threaded := build(8)
+	for i := range serial.cells {
+		if serial.cells[i] != threaded.cells[i] {
+			t.Fatalf("cell %d differs: %d vs %d", i, serial.cells[i], threaded.cells[i])
+		}
+	}
+}
+
+func TestThreadPoolDiscountsOps(t *testing.T) {
+	if got := discountOps(1000, 1); got != 1000 {
+		t.Fatalf("threads=1 discount = %d", got)
+	}
+	if got := discountOps(1000, 2); got != 500 {
+		t.Fatalf("threads=2 discount = %d", got)
+	}
+	// Capped at the per-slot core budget.
+	if got := discountOps(1000, 16); got != 500 {
+		t.Fatalf("threads=16 discount = %d, want cap at 2x", got)
+	}
+}
+
+func TestResetStatePerIteration(t *testing.T) {
+	// lreduce emits only for cells below target; with reset, the
+	// hashtable ends holding only the final iteration's emissions.
+	part := &counterPart{cells: []int{0, 4}, target: 5}
+	spec := countingSpec(0)
+	spec.ResetStatePerIteration = true
+	res, _ := runCounting(t, spec, part)
+	// Final local iteration: only cell 0 was still below target.
+	if len(res.Output) != 1 || res.Output[0].Key != 0 {
+		t.Fatalf("output = %v, want only cell 0", res.Output)
+	}
+}
+
+func TestLocalContextStateAccessors(t *testing.T) {
+	tc := &mapreduce.TaskContext[int64, int]{}
+	lc := newLocalContext[int64, int](tc)
+	if _, ok := lc.Value(1); ok {
+		t.Fatal("empty hashtable returned a value")
+	}
+	lc.EmitLocal(1, 10)
+	lc.EmitLocal(2, 20)
+	lc.EmitLocal(1, 11) // overwrite keeps order
+	if lc.Len() != 2 {
+		t.Fatalf("Len = %d", lc.Len())
+	}
+	var keys []int64
+	lc.State(func(k int64, v int) { keys = append(keys, k) })
+	if keys[0] != 1 || keys[1] != 2 {
+		t.Fatalf("state order %v", keys)
+	}
+	if v, ok := lc.Value(1); !ok || v != 11 {
+		t.Fatalf("Value(1) = %d,%v", v, ok)
+	}
+}
+
+func TestDriverRunsToConvergence(t *testing.T) {
+	// Iterative doubling: global state x doubles per iteration until
+	// >= 64; Update reports convergence.
+	type part struct{ x int }
+	job := &mapreduce.Job[*part, int64, int]{
+		Name:      "doubling",
+		Partition: mapreduce.Int64Partition,
+		Map: func(ctx *mapreduce.TaskContext[int64, int], split mapreduce.Split[*part]) {
+			ctx.Emit(0, split.Data.x*2)
+		},
+		Reduce: func(ctx *mapreduce.TaskContext[int64, int], key int64, values []int) {
+			for _, v := range values {
+				ctx.Emit(key, v)
+			}
+		},
+	}
+	p := &part{x: 1}
+	d := &Driver[*part, int64, int]{
+		Engine: testEngine(),
+		Job:    job,
+		Update: func(iter int, out []mapreduce.KV[int64, int], splits []mapreduce.Split[*part]) (bool, error) {
+			p.x = out[0].Value
+			return p.x >= 64, nil
+		},
+	}
+	stats, err := d.Run([]mapreduce.Split[*part]{{ID: 0, Data: p, Records: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("did not converge")
+	}
+	if stats.GlobalIterations != 6 { // 1->2->4->8->16->32->64
+		t.Fatalf("iterations = %d, want 6", stats.GlobalIterations)
+	}
+	if p.x != 64 {
+		t.Fatalf("x = %d, want 64", p.x)
+	}
+	if stats.Duration <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+	if len(stats.PerIteration) != 6 {
+		t.Fatalf("per-iteration records = %d", len(stats.PerIteration))
+	}
+	if stats.TotalSynchronizations() < int64(stats.GlobalIterations) {
+		t.Fatal("total syncs below global count")
+	}
+}
+
+func TestDriverMaxIterations(t *testing.T) {
+	type part struct{}
+	job := &mapreduce.Job[*part, int64, int]{
+		Name:      "forever",
+		Partition: mapreduce.Int64Partition,
+		Map:       func(ctx *mapreduce.TaskContext[int64, int], split mapreduce.Split[*part]) { ctx.Emit(0, 1) },
+		Reduce:    func(ctx *mapreduce.TaskContext[int64, int], key int64, values []int) {},
+	}
+	d := &Driver[*part, int64, int]{
+		Engine:        testEngine(),
+		Job:           job,
+		MaxIterations: 3,
+		Update: func(int, []mapreduce.KV[int64, int], []mapreduce.Split[*part]) (bool, error) {
+			return false, nil
+		},
+	}
+	stats, err := d.Run([]mapreduce.Split[*part]{{ID: 0, Data: &part{}, Records: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Converged || stats.GlobalIterations != 3 {
+		t.Fatalf("stats = %+v, want 3 non-converged iterations", stats)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	d := &Driver[*counterPart, int64, int]{}
+	if _, err := d.Run(nil); err == nil {
+		t.Fatal("empty driver accepted")
+	}
+}

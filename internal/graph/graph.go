@@ -1,0 +1,240 @@
+// Package graph provides the directed-graph substrate for the paper's
+// PageRank and Shortest Path workloads: an adjacency-list representation,
+// the preferential-attachment generator used to create the paper's input
+// graphs (Table II), degree/weight utilities, and a compact binary
+// serialization used to size splits for the DFS cost model.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// NodeID indexes a vertex. Graphs here are dense 0..N-1, so a NodeID is
+// also a position.
+type NodeID = int32
+
+// Graph is a directed graph in adjacency-list form (the paper's input
+// representation: "we use a graph represented as adjacency lists").
+// Weights, if present, parallels Out; Weights[u][i] is the weight of the
+// edge u->Out[u][i].
+type Graph struct {
+	// Out[u] lists the destinations of u's out-edges.
+	Out [][]NodeID
+	// Weights[u][i] is the weight of edge (u, Out[u][i]); nil for
+	// unweighted graphs.
+	Weights [][]float64
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.Out) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, adj := range g.Out {
+		n += len(adj)
+	}
+	return n
+}
+
+// OutDegrees returns the out-degree of every node.
+func (g *Graph) OutDegrees() []int {
+	d := make([]int, len(g.Out))
+	for u, adj := range g.Out {
+		d[u] = len(adj)
+	}
+	return d
+}
+
+// InDegrees returns the in-degree of every node. The paper fits the
+// power-law exponent on in-degrees ("the best-fit for inlinks").
+func (g *Graph) InDegrees() []int {
+	d := make([]int, len(g.Out))
+	for _, adj := range g.Out {
+		for _, v := range adj {
+			d[v]++
+		}
+	}
+	return d
+}
+
+// Transpose returns the reversed graph (in-adjacency), preserving
+// weights.
+func (g *Graph) Transpose() *Graph {
+	n := g.NumNodes()
+	deg := g.InDegrees()
+	t := &Graph{Out: make([][]NodeID, n)}
+	for v := 0; v < n; v++ {
+		t.Out[v] = make([]NodeID, 0, deg[v])
+	}
+	if g.Weights != nil {
+		t.Weights = make([][]float64, n)
+		for v := 0; v < n; v++ {
+			t.Weights[v] = make([]float64, 0, deg[v])
+		}
+	}
+	for u, adj := range g.Out {
+		for i, v := range adj {
+			t.Out[v] = append(t.Out[v], NodeID(u))
+			if g.Weights != nil {
+				t.Weights[v] = append(t.Weights[v], g.Weights[u][i])
+			}
+		}
+	}
+	return t
+}
+
+// Undirected returns a symmetric adjacency structure (deduplicated,
+// self-loop-free) for the partitioner, which treats the web graph as an
+// undirected locality structure the way Metis does.
+func (g *Graph) Undirected() [][]NodeID {
+	n := g.NumNodes()
+	adj := make([][]NodeID, n)
+	for u, out := range g.Out {
+		for _, v := range out {
+			if NodeID(u) == v {
+				continue
+			}
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], NodeID(u))
+		}
+	}
+	// Deduplicate in place per node.
+	for u := range adj {
+		adj[u] = dedupSorted(adj[u])
+	}
+	return adj
+}
+
+func dedupSorted(a []NodeID) []NodeID {
+	if len(a) < 2 {
+		return a
+	}
+	insertionOrQuick(a)
+	w := 1
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[i-1] {
+			a[w] = a[i]
+			w++
+		}
+	}
+	return a[:w]
+}
+
+// insertionOrQuick sorts a small int32 slice without pulling in
+// sort.Slice's interface overhead on this hot path.
+func insertionOrQuick(a []NodeID) {
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			x := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > x {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = x
+		}
+		return
+	}
+	// Median-of-three quicksort.
+	lo, hi := 0, len(a)-1
+	mid := (lo + hi) / 2
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[lo] {
+		a[hi], a[lo] = a[lo], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	pivot := a[mid]
+	i, j := lo, hi
+	for i <= j {
+		for a[i] < pivot {
+			i++
+		}
+		for a[j] > pivot {
+			j--
+		}
+		if i <= j {
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+	}
+	insertionOrQuick(a[:j+1])
+	insertionOrQuick(a[i:])
+}
+
+// AssignUniformWeights gives every edge a uniform random weight in
+// [lo, hi), as the paper does for Shortest Path ("We assign random
+// weights to the edges").
+func (g *Graph) AssignUniformWeights(lo, hi float64, seed uint64) {
+	g.AssignPowerWeights(lo, hi, 1, seed)
+}
+
+// AssignPowerWeights gives every edge the weight lo + (hi-lo)*u^gamma for
+// uniform u — gamma 1 is uniform; gamma > 1 skews toward light edges,
+// which stretches weighted shortest paths over many light hops the way
+// road-like and transaction-like networks do.
+func (g *Graph) AssignPowerWeights(lo, hi, gamma float64, seed uint64) {
+	if hi <= lo {
+		panic(fmt.Sprintf("graph: invalid weight range [%g, %g)", lo, hi))
+	}
+	if gamma <= 0 {
+		panic(fmt.Sprintf("graph: invalid weight exponent %g", gamma))
+	}
+	rng := stats.NewRNG(seed)
+	g.Weights = make([][]float64, len(g.Out))
+	for u, adj := range g.Out {
+		w := make([]float64, len(adj))
+		for i := range w {
+			w[i] = lo + (hi-lo)*math.Pow(rng.Float64(), gamma)
+		}
+		g.Weights[u] = w
+	}
+}
+
+// AdjacencyBytes returns the simulated serialized size of node u's
+// adjacency record: an 8-byte id and degree, 4 bytes per neighbor, plus 8
+// bytes per weight. This sizes splits for the DFS read cost model.
+func (g *Graph) AdjacencyBytes(u int) int64 {
+	b := int64(16 + 4*len(g.Out[u]))
+	if g.Weights != nil {
+		b += int64(8 * len(g.Out[u]))
+	}
+	return b
+}
+
+// TotalBytes returns the simulated serialized size of the whole graph.
+func (g *Graph) TotalBytes() int64 {
+	var b int64
+	for u := range g.Out {
+		b += g.AdjacencyBytes(u)
+	}
+	return b
+}
+
+// Validate checks structural invariants: all endpoints in range and
+// weight arrays parallel to adjacency. Returns the first violation.
+func (g *Graph) Validate() error {
+	n := NodeID(g.NumNodes())
+	if g.Weights != nil && len(g.Weights) != int(n) {
+		return fmt.Errorf("graph: weights length %d != nodes %d", len(g.Weights), n)
+	}
+	for u, adj := range g.Out {
+		for _, v := range adj {
+			if v < 0 || v >= n {
+				return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+			}
+		}
+		if g.Weights != nil && len(g.Weights[u]) != len(adj) {
+			return fmt.Errorf("graph: node %d has %d weights for %d edges", u, len(g.Weights[u]), len(adj))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package graph
+
+import "fmt"
+
+// SubGraph is one partition's view of the graph, the payload of one
+// global map task in both the general (partition-input baseline, §V-B1)
+// and eager formulations. Edges are pre-split into partition-internal and
+// cross-partition ("inter-component") sets, because the two formulations
+// treat them differently: local iterations relax only internal edges;
+// global synchronizations reconcile across the cut.
+type SubGraph struct {
+	// PartID is the partition index.
+	PartID int
+	// Nodes lists the partition's global node ids in ascending order.
+	Nodes []NodeID
+	// Index maps a global node id to its position in Nodes; nodes not in
+	// this partition are absent.
+	Index map[NodeID]int32
+
+	// OutLocal[i] holds local indices of Nodes[i]'s out-neighbors inside
+	// the partition; OutRemote[i] holds global ids of out-neighbors in
+	// other partitions.
+	OutLocal  [][]int32
+	OutRemote [][]NodeID
+	// WLocal / WRemote carry edge weights parallel to OutLocal /
+	// OutRemote; nil for unweighted graphs.
+	WLocal  [][]float64
+	WRemote [][]float64
+
+	// OutDeg[i] is Nodes[i]'s total out-degree in the full graph
+	// (internal + cross); PageRank divides by it.
+	OutDeg []int32
+
+	// InRemote[i] lists the sources of Nodes[i]'s cross-partition
+	// in-edges (global ids); InRemoteW the corresponding weights. The
+	// driver uses these to recompute ghost contributions after each
+	// global synchronization.
+	InRemote  [][]NodeID
+	InRemoteW [][]float64
+
+	// Bytes is the simulated serialized size of the partition, used to
+	// price the DFS read of the split.
+	Bytes int64
+}
+
+// NumNodes returns the number of nodes owned by this partition.
+func (s *SubGraph) NumNodes() int { return len(s.Nodes) }
+
+// InternalEdges and CrossEdges count the partition's edge split.
+func (s *SubGraph) InternalEdges() int {
+	n := 0
+	for _, adj := range s.OutLocal {
+		n += len(adj)
+	}
+	return n
+}
+
+// CrossEdges counts out-edges leaving the partition.
+func (s *SubGraph) CrossEdges() int {
+	n := 0
+	for _, adj := range s.OutRemote {
+		n += len(adj)
+	}
+	return n
+}
+
+// BuildSubGraphs splits g into k partition payloads according to parts
+// (node -> partition, as produced by internal/partition). Every partition
+// must be non-empty; use partition.Assignment.Validate first.
+func BuildSubGraphs(g *Graph, parts []int32, k int) ([]*SubGraph, error) {
+	n := g.NumNodes()
+	if len(parts) != n {
+		return nil, fmt.Errorf("graph: parts length %d != nodes %d", len(parts), n)
+	}
+	weighted := g.Weights != nil
+	subs := make([]*SubGraph, k)
+	for p := range subs {
+		subs[p] = &SubGraph{PartID: p, Index: make(map[NodeID]int32)}
+	}
+	// First pass: assign nodes (ascending id keeps things deterministic).
+	for u := 0; u < n; u++ {
+		p := parts[u]
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("graph: node %d assigned to invalid partition %d", u, p)
+		}
+		s := subs[p]
+		s.Index[NodeID(u)] = int32(len(s.Nodes))
+		s.Nodes = append(s.Nodes, NodeID(u))
+	}
+	for _, s := range subs {
+		if len(s.Nodes) == 0 {
+			return nil, fmt.Errorf("graph: partition %d is empty", s.PartID)
+		}
+		m := len(s.Nodes)
+		s.OutLocal = make([][]int32, m)
+		s.OutRemote = make([][]NodeID, m)
+		s.OutDeg = make([]int32, m)
+		s.InRemote = make([][]NodeID, m)
+		if weighted {
+			s.WLocal = make([][]float64, m)
+			s.WRemote = make([][]float64, m)
+			s.InRemoteW = make([][]float64, m)
+		}
+	}
+	// Second pass: split edges.
+	for u := 0; u < n; u++ {
+		pu := parts[u]
+		s := subs[pu]
+		ui := s.Index[NodeID(u)]
+		adj := g.Out[u]
+		s.OutDeg[ui] = int32(len(adj))
+		for ei, v := range adj {
+			var w float64
+			if weighted {
+				w = g.Weights[u][ei]
+			}
+			if pv := parts[v]; pv == pu {
+				s.OutLocal[ui] = append(s.OutLocal[ui], s.Index[v])
+				if weighted {
+					s.WLocal[ui] = append(s.WLocal[ui], w)
+				}
+			} else {
+				s.OutRemote[ui] = append(s.OutRemote[ui], v)
+				if weighted {
+					s.WRemote[ui] = append(s.WRemote[ui], w)
+				}
+				t := subs[pv]
+				vi := t.Index[v]
+				t.InRemote[vi] = append(t.InRemote[vi], NodeID(u))
+				if weighted {
+					t.InRemoteW[vi] = append(t.InRemoteW[vi], w)
+				}
+			}
+		}
+	}
+	// Size each partition: adjacency bytes of its nodes.
+	for _, s := range subs {
+		var b int64
+		for _, u := range s.Nodes {
+			b += g.AdjacencyBytes(int(u))
+		}
+		s.Bytes = b
+	}
+	return subs, nil
+}

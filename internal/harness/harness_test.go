@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// suite at heavy scale reduction: full experiment pipeline wiring is
+// under test, not the paper's absolute numbers.
+func testSuite() *Suite {
+	return NewSuite(32)
+}
+
+func TestPartitionCountsScale(t *testing.T) {
+	s := NewSuite(1)
+	ks := s.PartitionCounts()
+	want := []int{100, 200, 400, 800, 1600, 3200, 6400}
+	if len(ks) != len(want) {
+		t.Fatalf("counts %v", ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("counts %v, want %v", ks, want)
+		}
+	}
+	// Scaled down: monotone, deduplicated, >= 2.
+	ks = NewSuite(64).PartitionCounts()
+	for i, k := range ks {
+		if k < 2 {
+			t.Fatalf("count %d < 2", k)
+		}
+		if i > 0 && ks[i] <= ks[i-1] {
+			t.Fatalf("counts not strictly increasing: %v", ks)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	s := testSuite()
+	var buf bytes.Buffer
+	s.Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table I", "8 nodes", "replication"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := s.Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"Table II", "Graph A", "Graph B", "0.85"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigures2and4ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f2, f4, err := s.Figures2and4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, eag := f2.Series[0].Y, f2.Series[1].Y
+	// General iteration count is partition-independent (paper: "The
+	// number of iterations does not change in the general case").
+	for i := 1; i < len(gen); i++ {
+		if gen[i] != gen[0] {
+			t.Fatalf("general iterations vary across partitions: %v", gen)
+		}
+	}
+	// Eager needs fewer global iterations everywhere, most pronounced at
+	// few partitions.
+	for i := range eag {
+		if eag[i] >= gen[i] {
+			t.Fatalf("eager not below general at index %d: %v vs %v", i, eag[i], gen[i])
+		}
+	}
+	if eag[0] >= eag[len(eag)-1] {
+		t.Fatalf("eager iterations do not grow with partition count: %v", eag)
+	}
+	// Time figure: eager faster at every sweep point.
+	genT, eagT := f4.Series[0].Y, f4.Series[1].Y
+	for i := range eagT {
+		if eagT[i] >= genT[i] {
+			t.Fatalf("eager not faster at index %d: %v vs %v", i, eagT[i], genT[i])
+		}
+	}
+	if geo, max := f4.SpeedupSummary(); geo < 1.5 || max < 2 {
+		t.Fatalf("speedups too small: geo %.2f max %.2f", geo, max)
+	}
+}
+
+func TestFigures6and7ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f6, f7, err := s.Figures6and7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, eag := f6.Series[0].Y, f6.Series[1].Y
+	for i := 1; i < len(gen); i++ {
+		if gen[i] != gen[0] {
+			t.Fatalf("general SSSP iterations vary: %v", gen)
+		}
+	}
+	for i := range eag {
+		if eag[i] > gen[i] {
+			t.Fatalf("eager SSSP above general at %d: %v vs %v", i, eag[i], gen[i])
+		}
+	}
+	genT, eagT := f7.Series[0].Y, f7.Series[1].Y
+	if eagT[0] >= genT[0] {
+		t.Fatalf("eager SSSP not faster at fewest partitions: %v vs %v", eagT[0], genT[0])
+	}
+}
+
+func TestFigures8and9Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f8, f9, err := s.Figures8and9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := f8.Series[0].Y
+	// Tighter thresholds need at least as many general iterations.
+	for i := 1; i < len(gen); i++ {
+		if gen[i] < gen[i-1] {
+			t.Fatalf("general K-Means iterations fell with tighter threshold: %v", gen)
+		}
+	}
+	if len(f9.Series[0].Y) != len(KMeansThresholds) {
+		t.Fatal("time series length mismatch")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{
+		Title:  "Test figure",
+		XLabel: "# Partitions",
+		YLabel: "Time",
+		X:      []float64{100, 200, 400},
+		Series: []Series{
+			{Label: "General", Y: []float64{800, 900, 1000}},
+			{Label: "Eager", Y: []float64{100, 150, 400}},
+		},
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Test figure", "General", "Eager", "100", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	geo, max := f.SpeedupSummary()
+	if geo < 3 || geo > 5 {
+		t.Errorf("geomean %.2f out of expected range", geo)
+	}
+	if max != 8 {
+		t.Errorf("max speedup %.2f, want 8", max)
+	}
+}
+
+func TestFigureRenderDegenerate(t *testing.T) {
+	// Single-series, constant-value figures must not panic.
+	f := &Figure{
+		Title:  "flat",
+		X:      []float64{1, 2},
+		Series: []Series{{Label: "only", Y: []float64{5, 5}}},
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	if !strings.Contains(buf.String(), "flat") {
+		t.Fatal("missing title")
+	}
+	if geo, _ := f.SpeedupSummary(); geo != 0 {
+		t.Fatal("single series should have no speedup")
+	}
+}
+
+func TestScalabilityRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := NewSuite(64)
+	f, err := s.Scalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	genT, eagT := f.Series[0].Y, f.Series[1].Y
+	for i := range eagT {
+		if eagT[i] >= genT[i] {
+			t.Fatalf("eager not faster on CluE at %d: %v vs %v", i, eagT[i], genT[i])
+		}
+	}
+	// Suite cluster restored after the CluE override.
+	if s.Cluster.Name != "ec2-8-xlarge" {
+		t.Fatalf("suite cluster not restored: %s", s.Cluster.Name)
+	}
+}

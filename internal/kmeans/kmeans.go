@@ -1,0 +1,451 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/stats"
+)
+
+// Accum is the key-value payload: a running vector sum of points assigned
+// to one centroid plus their count. Map tasks emit partial accumulators;
+// the global reduce folds them; the driver divides to obtain centroids.
+type Accum struct {
+	Sum   []float64
+	Count int64
+}
+
+// Config parameterizes a K-Means run.
+type Config struct {
+	// K is the number of clusters (the paper does not state its k;
+	// DefaultConfig uses 16 with random initial centroids "for the sake
+	// of generality", as the paper does).
+	K int
+	// Threshold is the paper's δ: convergence when every centroid moves
+	// less than this Euclidean distance in one global iteration
+	// (Figure 8 sweeps δ over {0.1, 0.01, 0.001, 0.0001}).
+	Threshold float64
+	// MaxIterations caps global iterations (0 = core default).
+	MaxIterations int
+	// MaxLocalIters caps local iterations inside one gmap (0 = none).
+	MaxLocalIters int
+	// ReshuffleEvery repartitions the points across global maps every
+	// this many global iterations in the eager formulation, following
+	// the Yom-Tov & Slonim observation the paper adopts ("the input
+	// points need to be partitioned differently across global maps so as
+	// to avoid the algorithm's move towards local optima"). 0 disables.
+	ReshuffleEvery int
+	// OscillationWindow enables the paper's extended convergence
+	// condition ("the convergence condition includes detection of
+	// oscillations"): if the centroid-movement series repeats with
+	// period 2 over this many iterations, the run is declared converged.
+	// 0 disables.
+	OscillationWindow int
+	// Threads sizes the intra-task local thread pool (eager only).
+	Threads int
+	// Seed drives initial centroid choice and reshuffles.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-aligned settings: 52 partitions are set
+// at the call site; k=16 clusters with random initial centroids;
+// reshuffle every 5 iterations while coarsely converging; oscillation
+// window 5; local refinement capped at 8 sweeps per global round (deep
+// local convergence on small subsets overfits each subset's local
+// optimum and destabilizes the global average).
+func DefaultConfig(threshold float64) Config {
+	return Config{
+		K:                 16,
+		Threshold:         threshold,
+		MaxLocalIters:     8,
+		ReshuffleEvery:    5,
+		OscillationWindow: 5,
+		Seed:              0x5EED,
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("kmeans: K must be >= 1, got %d", c.K)
+	case c.Threshold <= 0:
+		return fmt.Errorf("kmeans: Threshold must be positive, got %g", c.Threshold)
+	}
+	return nil
+}
+
+// state is one partition's payload: its current slice of the input
+// points plus the centroids it iterates against.
+type state struct {
+	// idx lists the global indices of this partition's points; points
+	// holds the matching rows (views into the dataset).
+	idx    []int32
+	points [][]float64
+	// centroids is the partition's working copy of the input centroids;
+	// local iterations refine it, global Update resets it.
+	centroids [][]float64
+	// localDelta is the last local iteration's max centroid movement.
+	localDelta float64
+}
+
+// Result of a K-Means run.
+type Result struct {
+	// Centroids are the final cluster centers.
+	Centroids [][]float64
+	// Stats carries the iterative run's accounting.
+	Stats *core.RunStats
+	// OscillationStop records whether convergence came from oscillation
+	// detection rather than the movement threshold.
+	OscillationStop bool
+}
+
+// Run clusters points into cfg.K clusters over numParts partitions
+// (the paper's Figure 8/9 uses 52). eager selects the formulation.
+func Run(engine *mapreduce.Engine, points [][]float64, numParts int, cfg Config, eager bool) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if numParts < 1 {
+		return nil, fmt.Errorf("kmeans: numParts must be >= 1, got %d", numParts)
+	}
+	if numParts > len(points) {
+		numParts = len(points)
+	}
+	dims := len(points[0])
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), dims)
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Initial centroids: random distinct points (paper: "initial
+	// centroids are chosen at random for the sake of generality").
+	centroids := make([][]float64, cfg.K)
+	for c := range centroids {
+		centroids[c] = append([]float64(nil), points[rng.Intn(len(points))]...)
+	}
+
+	// Partition the points into contiguous chunks of a permutation;
+	// reshuffling later redraws the permutation.
+	states := make([]*state, numParts)
+	for i := range states {
+		states[i] = &state{}
+	}
+	assignPoints(states, points, rng.Perm(len(points)))
+	for _, st := range states {
+		st.centroids = cloneCentroids(centroids)
+	}
+
+	splits := make([]mapreduce.Split[*state], numParts)
+	refreshSplits := func() {
+		for i, st := range states {
+			splits[i] = mapreduce.Split[*state]{
+				ID:      i,
+				Data:    st,
+				Records: int64(len(st.points)),
+				Bytes:   int64(len(st.points) * dims * 8),
+				Home:    i % engine.Cluster().Config().Nodes,
+			}
+		}
+	}
+	refreshSplits()
+
+	job := buildJob(cfg, dims, eager)
+	res := &Result{}
+	var history []float64
+	driver := &core.Driver[*state, int64, Accum]{
+		Engine:        engine,
+		Job:           job,
+		MaxIterations: cfg.MaxIterations,
+		Update: func(iter int, out []mapreduce.KV[int64, Accum], _ []mapreduce.Split[*state]) (bool, error) {
+			// Fold the global reduction into new centroids; empty
+			// clusters keep their previous center.
+			next := cloneCentroids(centroids)
+			for _, kv := range out {
+				c := int(kv.Key)
+				if c < 0 || c >= cfg.K {
+					return false, fmt.Errorf("kmeans: reduce emitted centroid %d outside [0,%d)", c, cfg.K)
+				}
+				if kv.Value.Count == 0 {
+					continue
+				}
+				for d := 0; d < dims; d++ {
+					next[c][d] = kv.Value.Sum[d] / float64(kv.Value.Count)
+				}
+			}
+			movement := 0.0
+			for c := range next {
+				if m := centroidMovement(next[c], centroids[c]); m > movement {
+					movement = m
+				}
+			}
+			centroids = next
+			// Input-centroids for the next round are the final-centroids.
+			for _, st := range states {
+				st.centroids = cloneCentroids(centroids)
+			}
+			if movement < cfg.Threshold {
+				return true, nil
+			}
+			history = append(history, movement)
+			if cfg.OscillationWindow > 1 && oscillating(history, cfg.OscillationWindow) {
+				res.OscillationStop = true
+				return true, nil
+			}
+			// Periodic repartitioning (eager only; the general
+			// formulation is partition-agnostic: every partition does
+			// identical per-point work regardless of membership). Only
+			// while the centroids are still moving coarsely — once
+			// movement nears the threshold, reshuffling would inject
+			// partition noise above the remaining signal and stall
+			// convergence.
+			if eager && cfg.ReshuffleEvery > 0 && iter%cfg.ReshuffleEvery == 0 &&
+				movement > 10*cfg.Threshold {
+				assignPoints(states, points, rng.Perm(len(points)))
+				refreshSplits()
+			}
+			return false, nil
+		},
+	}
+	stats_, err := driver.Run(splits)
+	if err != nil {
+		return nil, err
+	}
+	res.Centroids = centroids
+	res.Stats = stats_
+	return res, nil
+}
+
+// assignPoints distributes points to partitions as contiguous chunks of
+// the given permutation.
+func assignPoints(states []*state, points [][]float64, perm []int) {
+	n := len(points)
+	k := len(states)
+	for i, st := range states {
+		lo, hi := i*n/k, (i+1)*n/k
+		st.idx = st.idx[:0]
+		st.points = st.points[:0]
+		for _, pi := range perm[lo:hi] {
+			st.idx = append(st.idx, int32(pi))
+			st.points = append(st.points, points[pi])
+		}
+	}
+}
+
+func cloneCentroids(cs [][]float64) [][]float64 {
+	out := make([][]float64, len(cs))
+	for i, c := range cs {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}
+
+// oscillating reports whether the movement series has stopped making
+// progress: either a period-2 cycle (the K-Means ping-pong pathology) or
+// a plateau where the best movement has not improved across the window.
+// This is the "detection of oscillations along with the Euclidean
+// metric" convergence extension the paper adopts from Yom-Tov & Slonim;
+// without it, residual partition noise can hold the movement just above
+// a tight threshold indefinitely.
+func oscillating(history []float64, window int) bool {
+	if len(history) < window || window < 4 {
+		return false
+	}
+	recent := history[len(history)-window:]
+	// Period-2 cycle: entries repeat two apart.
+	const tol = 1e-9
+	cycle := true
+	for i := 2; i < len(recent); i++ {
+		if math.Abs(recent[i]-recent[i-2]) > tol*(1+math.Abs(recent[i])) {
+			cycle = false
+			break
+		}
+	}
+	if cycle {
+		return true
+	}
+	// Plateau: nothing in the window beat the best movement seen before
+	// the window by at least 1%.
+	best := math.Inf(1)
+	for _, m := range history[:len(history)-window] {
+		if m < best {
+			best = m
+		}
+	}
+	for _, m := range recent {
+		if m < 0.99*best {
+			return false
+		}
+	}
+	return true
+}
+
+// centroidMovement is the convergence metric: the Euclidean distance a
+// centroid moved, normalized per dimension (divided by sqrt(dims)).
+// Normalizing makes the paper's threshold sweep {0.1 .. 0.0001}
+// meaningful on 68-dimensional data: the smallest possible nonzero
+// movement — one boundary point flipping between clusters — lands below
+// 1e-4 instead of being amplified by dimensionality.
+func centroidMovement(a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return stats.EuclideanDistance(a, b) / math.Sqrt(float64(len(a)))
+}
+
+// nearest returns the index of the closest centroid to p (squared
+// distance; ties to the lower index).
+func nearest(centroids [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range centroids {
+		d := 0.0
+		for i := range p {
+			diff := p[i] - cen[i]
+			d += diff * diff
+			if d >= bestD {
+				break
+			}
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// buildJob assembles the per-iteration job. The global reduce — fold
+// accumulators per centroid — is shared between formulations.
+func buildJob(cfg Config, dims int, eager bool) *mapreduce.Job[*state, int64, Accum] {
+	job := &mapreduce.Job[*state, int64, Accum]{
+		Name:      "kmeans-general",
+		Partition: mapreduce.Int64Partition,
+		RecordSize: func(_ int64, v Accum) int64 {
+			return 16 + int64(8*len(v.Sum))
+		},
+		Reduce: func(ctx *mapreduce.TaskContext[int64, Accum], key int64, values []Accum) {
+			total := Accum{Sum: make([]float64, dims)}
+			for _, a := range values {
+				for d, x := range a.Sum {
+					total.Sum[d] += x
+				}
+				total.Count += a.Count
+			}
+			ctx.Charge(int64(len(values) * dims))
+			ctx.Emit(key, total)
+		},
+	}
+	if !eager {
+		job.Map = func(ctx *mapreduce.TaskContext[int64, Accum], split mapreduce.Split[*state]) {
+			st := split.Data
+			generalAssign(ctx, st)
+		}
+		return job
+	}
+	job.Name = "kmeans-eager"
+	job.Map = core.BuildGMap(eagerSpec(cfg, dims))
+	return job
+}
+
+// generalAssign performs one synchronous assignment sweep: each point
+// picks its nearest input centroid; the task emits one partial
+// accumulator per centroid (the in-mapper aggregation Mahout's
+// implementation achieves with combiners).
+func generalAssign(ctx *mapreduce.TaskContext[int64, Accum], st *state) {
+	k := len(st.centroids)
+	if k == 0 {
+		return
+	}
+	dims := len(st.centroids[0])
+	sums := make([][]float64, k)
+	counts := make([]int64, k)
+	for _, p := range st.points {
+		c := nearest(st.centroids, p)
+		if sums[c] == nil {
+			sums[c] = make([]float64, dims)
+		}
+		for d, x := range p {
+			sums[c][d] += x
+		}
+		counts[c]++
+	}
+	ctx.Charge(int64(len(st.points) * k * dims))
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			ctx.Emit(int64(c), Accum{Sum: sums[c], Count: counts[c]})
+		}
+	}
+}
+
+// eagerSpec wires lmap/lreduce for K-Means: local Lloyd iterations on the
+// partition's subset until the local centroids stop moving, then the
+// hashtable (input-centroid -> local accumulator) becomes the global
+// emission, exactly the paper's "the global map emits the input-centroids
+// and their associated updated-centroids".
+func eagerSpec(cfg Config, dims int) *core.LocalSpec[*state, int32, int64, Accum] {
+	return &core.LocalSpec[*state, int32, int64, Accum]{
+		// xs: the partition's point indices.
+		Elements: func(st *state) []int32 {
+			elems := make([]int32, len(st.points))
+			for i := range elems {
+				elems[i] = int32(i)
+			}
+			return elems
+		},
+		// lmap: assign one point to the nearest current local centroid.
+		// The emitted accumulator aliases the point row (read-only), so
+		// no per-point allocation happens.
+		LMap: func(lc *core.LocalContext[int64, Accum], st *state, pi int32) {
+			p := st.points[pi]
+			c := nearest(st.centroids, p)
+			lc.Charge(int64(len(st.centroids) * dims))
+			lc.EmitLocalIntermediate(int64(c), Accum{Sum: p, Count: 1})
+		},
+		// lreduce: fold one cluster's members into an accumulator.
+		LReduce: func(lc *core.LocalContext[int64, Accum], st *state, key int64, values []Accum) {
+			total := Accum{Sum: make([]float64, dims)}
+			for _, a := range values {
+				for d, x := range a.Sum {
+					total.Sum[d] += x
+				}
+				total.Count += a.Count
+			}
+			lc.Charge(int64(len(values) * dims))
+			lc.EmitLocal(key, total)
+		},
+		// Partial synchronization: move the local centroids to the new
+		// local means and measure movement.
+		Apply: func(st *state, lc *core.LocalContext[int64, Accum]) {
+			st.localDelta = 0
+			lc.State(func(k int64, a Accum) {
+				if a.Count == 0 {
+					return
+				}
+				mean := make([]float64, dims)
+				for d := range mean {
+					mean[d] = a.Sum[d] / float64(a.Count)
+				}
+				if m := centroidMovement(mean, st.centroids[k]); m > st.localDelta {
+					st.localDelta = m
+				}
+				st.centroids[k] = mean
+			})
+		},
+		Converged: func(st *state, _ *core.LocalContext[int64, Accum]) bool {
+			return st.localDelta < cfg.Threshold
+		},
+		MaxLocalIters: cfg.MaxLocalIters,
+		// The hashtable must hold exactly the final local iteration's
+		// cluster accumulators — stale entries from clusters that later
+		// lost their members would double-count points globally.
+		ResetStatePerIteration: true,
+		// Default Output: the hashtable's final (input-centroid ->
+		// accumulated members) entries are emitted as-is to greduce.
+		Threads: cfg.Threads,
+	}
+}

@@ -1,0 +1,107 @@
+package mapreduce
+
+import "sync"
+
+// TaskContext is the interface a map or reduce function uses to emit
+// records and to charge simulated compute. One context belongs to exactly
+// one task attempt and is not safe for concurrent use by multiple
+// goroutines (Hadoop tasks are single-threaded too; the paper's local
+// thread pool lives above this layer, in internal/core).
+type TaskContext[K comparable, V any] struct {
+	taskID int
+
+	out []KV[K, V]
+
+	// ops is app-charged compute (edge relaxations, distance
+	// calculations), priced at the cluster's ComputeRate.
+	ops int64
+	// localSyncs counts partial synchronizations performed inside this
+	// task by the partial-synchronization runtime.
+	localSyncs int64
+	// extraBytes counts simulated bytes the task reads/writes beyond its
+	// split (e.g. side-loaded centroid files in K-Means).
+	extraBytes int64
+
+	counters map[string]int64
+}
+
+// TaskID returns the id of the task this context belongs to.
+func (c *TaskContext[K, V]) TaskID() int { return c.taskID }
+
+// Emit appends one record to the task output: intermediate records for a
+// map task, final records for a reduce task.
+func (c *TaskContext[K, V]) Emit(key K, value V) {
+	c.out = append(c.out, KV[K, V]{Key: key, Value: value})
+}
+
+// Charge records ops primitive operations of user compute against the
+// simulated cluster's compute rate.
+func (c *TaskContext[K, V]) Charge(ops int64) {
+	c.ops += ops
+}
+
+// LocalSync records one local (in-memory, intra-task) synchronization
+// barrier. The partial-synchronization runtime calls this once per local
+// reduce; it costs LocalSyncOverhead rather than a global job barrier.
+func (c *TaskContext[K, V]) LocalSync() {
+	c.localSyncs++
+}
+
+// ChargeBytes accounts additional simulated I/O attributed to this task.
+func (c *TaskContext[K, V]) ChargeBytes(n int64) {
+	c.extraBytes += n
+}
+
+// Counter increments a named user counter, mirroring Hadoop counters.
+// Counters from all tasks are summed into the job result.
+func (c *TaskContext[K, V]) Counter(name string, delta int64) {
+	if c.counters == nil {
+		c.counters = make(map[string]int64)
+	}
+	c.counters[name] += delta
+}
+
+// taskStats is the accounting record a finished task attempt hands back
+// to the scheduler.
+type taskStats struct {
+	id         int
+	inRecords  int64
+	inBytes    int64
+	homeLocal  bool
+	outRecords int64
+	outBytes   int64
+	ops        int64
+	localSyncs int64
+	extraBytes int64
+}
+
+// counterSet aggregates user counters across tasks; safe for concurrent
+// merging.
+type counterSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (s *counterSet) merge(m map[string]int64) {
+	if len(m) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]int64)
+	}
+	for k, v := range m {
+		s.m[k] += v
+	}
+}
+
+func (s *counterSet) snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,393 @@
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+)
+
+// Engine runs jobs against a simulated cluster. It is safe to run jobs
+// sequentially from one goroutine; concurrent Run calls on the same
+// engine would interleave clock advances and are not supported.
+type Engine struct {
+	cluster *cluster.Cluster
+	// Parallelism bounds the real goroutines used to execute user code;
+	// it does not affect simulated time. Defaults to GOMAXPROCS.
+	Parallelism int
+}
+
+// NewEngine returns an engine bound to the given simulated cluster.
+func NewEngine(c *cluster.Cluster) *Engine {
+	return &Engine{cluster: c, Parallelism: runtime.GOMAXPROCS(0)}
+}
+
+// Cluster returns the engine's simulated cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// PhaseBreakdown decomposes a job's simulated duration.
+type PhaseBreakdown struct {
+	Overhead simtime.Duration // job scheduling/setup/teardown
+	MapWave  simtime.Duration // map task makespan (incl. input IO)
+	Shuffle  simtime.Duration // cross-node intermediate transfer
+	Reduce   simtime.Duration // reduce makespan (incl. sort + DFS write)
+}
+
+// Total returns the job's full simulated duration.
+func (p PhaseBreakdown) Total() simtime.Duration {
+	return p.Overhead + p.MapWave + p.Shuffle + p.Reduce
+}
+
+// Result carries a finished job's output and accounting.
+type Result[K comparable, V any] struct {
+	// Output holds the final records in deterministic order (reduce
+	// partition order, first-seen key order within a partition).
+	Output []KV[K, V]
+	// Phases is the simulated duration breakdown; Duration its total.
+	Phases   PhaseBreakdown
+	Duration simtime.Duration
+	// MapTasks and ReduceTasks count executed tasks (successful
+	// attempts); Failures counts failed attempts that were replayed.
+	MapTasks    int
+	ReduceTasks int
+	Failures    int
+	// ShuffleRecords/ShuffleBytes measure the intermediate data volume
+	// that crossed the map→reduce barrier.
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	// Counters aggregates user counters across all tasks.
+	Counters map[string]int64
+}
+
+// Run executes one job over the given splits and advances the cluster
+// clock by the job's simulated duration. User code runs concurrently on
+// real goroutines; any panic in user code is recovered and returned as an
+// error tagged with the task.
+func Run[P any, K comparable, V any](e *Engine, job *Job[P, K, V], splits []Split[P]) (*Result[K, V], error) {
+	c := e.cluster
+	cfg := c.Config()
+	if err := job.validate(cfg.ReduceSlots()); err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %q has no input splits", job.Name)
+	}
+
+	res := &Result[K, V]{}
+	res.Phases.Overhead = cfg.JobOverhead
+	counters := &counterSet{}
+
+	// --- map phase: real execution -----------------------------------
+	mapOuts := make([][]KV[K, V], len(splits))
+	mapStats := make([]taskStats, len(splits))
+	err := e.forEachTask(len(splits), func(i int) error {
+		sp := &splits[i]
+		ctx := &TaskContext[K, V]{taskID: sp.ID}
+		job.Map(ctx, *sp)
+		if job.Combine != nil {
+			combineTaskOutput(job, ctx)
+		}
+		var outBytes int64
+		for _, kv := range ctx.out {
+			outBytes += job.RecordSize(kv.Key, kv.Value)
+		}
+		mapOuts[i] = ctx.out
+		mapStats[i] = taskStats{
+			id:         sp.ID,
+			inRecords:  sp.Records,
+			inBytes:    sp.Bytes,
+			homeLocal:  sp.Home >= 0,
+			outRecords: int64(len(ctx.out)),
+			outBytes:   outBytes,
+			ops:        ctx.ops,
+			localSyncs: ctx.localSyncs,
+			extraBytes: ctx.extraBytes,
+		}
+		counters.merge(ctx.counters)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q map phase: %w", job.Name, err)
+	}
+	res.MapTasks = len(splits)
+
+	// --- map phase: pricing (deterministic order) --------------------
+	mapOnly := job.Reduce == nil
+	mapDurations := make([]simtime.Duration, len(splits))
+	var localSyncs int64
+	for i := range mapStats {
+		st := &mapStats[i]
+		d := cfg.TaskOverhead
+		d += c.DFSReadCost(st.inBytes, st.homeLocal)
+		d += simtime.Duration(float64(st.inRecords)) * cfg.MapRecordCost
+		d += simtime.Duration(float64(st.outRecords)) * cfg.EmitCost
+		d += c.ComputeCost(st.ops)
+		d += simtime.Duration(float64(st.localSyncs)) * cfg.LocalSyncOverhead
+		if st.extraBytes > 0 {
+			d += c.TransferCost(st.extraBytes)
+		}
+		if mapOnly {
+			d += c.DFSWriteCost(st.outBytes)
+		}
+		d = simtime.Duration(float64(d) * c.StragglerFactor())
+		attempts, wasted := c.TaskAttempts()
+		if attempts > 1 {
+			res.Failures += attempts - 1
+			d += simtime.Duration(wasted * float64(d))
+		}
+		mapDurations[i] = d
+		localSyncs += st.localSyncs
+	}
+	res.Phases.MapWave = simtime.MakespanLPT(mapDurations, cfg.MapSlots())
+
+	c.Account(func(m *cluster.Metrics) {
+		m.Jobs++
+		m.MapTasks += int64(len(splits))
+		m.TaskFailures += int64(res.Failures)
+		m.LocalSyncs += localSyncs
+		for i := range mapStats {
+			m.DFSBytesRead += mapStats[i].inBytes
+			m.ComputeOps += mapStats[i].ops
+		}
+	})
+
+	if mapOnly {
+		for _, out := range mapOuts {
+			res.Output = append(res.Output, out...)
+		}
+		finish(e, res, counters)
+		return res, nil
+	}
+
+	// --- shuffle ------------------------------------------------------
+	nReduce := job.NumReduces
+	parts := make([][]KV[K, V], nReduce)
+	var shuffleRecords, shuffleBytes int64
+	for _, out := range mapOuts {
+		for _, kv := range out {
+			p := job.Partition(kv.Key, nReduce)
+			if p < 0 || p >= nReduce {
+				return nil, fmt.Errorf("mapreduce: job %q partitioner returned %d for %d partitions", job.Name, p, nReduce)
+			}
+			parts[p] = append(parts[p], kv)
+			shuffleRecords++
+			shuffleBytes += job.RecordSize(kv.Key, kv.Value)
+		}
+	}
+	res.ShuffleRecords = shuffleRecords
+	res.ShuffleBytes = shuffleBytes
+	res.Phases.Shuffle = shuffleCost(c, len(splits), nReduce, shuffleBytes)
+	c.Account(func(m *cluster.Metrics) {
+		m.ShuffleBytes += shuffleBytes
+		m.ShuffleRecords += shuffleRecords
+		m.GlobalSyncs++
+	})
+
+	// --- reduce phase: real execution ---------------------------------
+	redOuts := make([][]KV[K, V], nReduce)
+	redStats := make([]taskStats, nReduce)
+	err = e.forEachTask(nReduce, func(p int) error {
+		ctx := &TaskContext[K, V]{taskID: p}
+		keys, groups := groupByKey(parts[p])
+		for _, k := range keys {
+			job.Reduce(ctx, k, groups[k])
+		}
+		var outBytes int64
+		for _, kv := range ctx.out {
+			outBytes += job.RecordSize(kv.Key, kv.Value)
+		}
+		redOuts[p] = ctx.out
+		redStats[p] = taskStats{
+			id:         p,
+			inRecords:  int64(len(parts[p])),
+			outRecords: int64(len(ctx.out)),
+			outBytes:   outBytes,
+			ops:        ctx.ops,
+			localSyncs: ctx.localSyncs,
+			extraBytes: ctx.extraBytes,
+		}
+		counters.merge(ctx.counters)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q reduce phase: %w", job.Name, err)
+	}
+	res.ReduceTasks = nReduce
+
+	// --- reduce phase: pricing ----------------------------------------
+	redDurations := make([]simtime.Duration, nReduce)
+	var dfsWritten int64
+	for i := range redStats {
+		st := &redStats[i]
+		d := cfg.TaskOverhead
+		d += sortCost(cfg, st.inRecords)
+		d += simtime.Duration(float64(st.inRecords)) * cfg.ReduceRecordCost
+		d += simtime.Duration(float64(st.outRecords)) * cfg.EmitCost
+		d += c.ComputeCost(st.ops)
+		d += c.DFSWriteCost(st.outBytes)
+		if st.extraBytes > 0 {
+			d += c.TransferCost(st.extraBytes)
+		}
+		d = simtime.Duration(float64(d) * c.StragglerFactor())
+		attempts, wasted := c.TaskAttempts()
+		if attempts > 1 {
+			res.Failures += attempts - 1
+			d += simtime.Duration(wasted * float64(d))
+		}
+		redDurations[i] = d
+		dfsWritten += st.outBytes * int64(cfg.DFSReplication)
+	}
+	res.Phases.Reduce = simtime.MakespanLPT(redDurations, cfg.ReduceSlots())
+	c.Account(func(m *cluster.Metrics) {
+		m.ReduceTasks += int64(nReduce)
+		m.DFSBytesWritten += dfsWritten
+		for i := range redStats {
+			m.ComputeOps += redStats[i].ops
+		}
+	})
+
+	for _, out := range redOuts {
+		res.Output = append(res.Output, out...)
+	}
+	finish(e, res, counters)
+	return res, nil
+}
+
+// finish stamps totals and advances the clock.
+func finish[K comparable, V any](e *Engine, res *Result[K, V], counters *counterSet) {
+	res.Duration = res.Phases.Total()
+	res.Counters = counters.snapshot()
+	e.cluster.Clock().Advance(res.Duration)
+}
+
+// shuffleCost prices the all-to-all intermediate transfer. The aggregate
+// fabric moves totalBytes with per-node NICs as the bottleneck; a
+// (nodes-1)/nodes fraction of bytes actually crosses the network (records
+// whose reducer is co-located move for free). Fetch latencies are paid by
+// each reducer contacting each map output, with Hadoop's default five
+// parallel copier threads.
+func shuffleCost(c *cluster.Cluster, nMaps, nReduces int, totalBytes int64) simtime.Duration {
+	cfg := c.Config()
+	nodes := cfg.Nodes
+	crossBytes := totalBytes
+	if nodes > 1 {
+		crossBytes = totalBytes * int64(nodes-1) / int64(nodes)
+	} else {
+		crossBytes = 0
+	}
+	// Bandwidth term: bytes per node over per-node NIC bandwidth.
+	perNode := float64(crossBytes) / float64(nodes)
+	d := c.TransferCost(int64(perNode))
+	// Latency term: each reducer performs nMaps fetches with 5 parallel
+	// copiers; reducers run concurrently, so charge one reducer's chain.
+	fetches := (nMaps + 4) / 5
+	d += simtime.Duration(fetches) * cfg.NetLatency
+	return d
+}
+
+// sortCost prices the merge sort of n records in one reduce task.
+func sortCost(cfg *cluster.Config, n int64) simtime.Duration {
+	if n <= 1 {
+		return 0
+	}
+	log2 := 0
+	for x := n; x > 1; x >>= 1 {
+		log2++
+	}
+	return simtime.Duration(float64(n*int64(log2))) * cfg.SortCostPerRecord
+}
+
+// groupByKey groups records by key, preserving first-seen key order so
+// results are deterministic without requiring an ordering on K.
+func groupByKey[K comparable, V any](records []KV[K, V]) ([]K, map[K][]V) {
+	groups := make(map[K][]V, len(records)/2+1)
+	var keys []K
+	for _, kv := range records {
+		vs, ok := groups[kv.Key]
+		if !ok {
+			keys = append(keys, kv.Key)
+		}
+		groups[kv.Key] = append(vs, kv.Value)
+	}
+	return keys, groups
+}
+
+// combineTaskOutput applies the job's combiner to one map task's buffered
+// output in place.
+func combineTaskOutput[P any, K comparable, V any](job *Job[P, K, V], ctx *TaskContext[K, V]) {
+	keys, groups := groupByKey(ctx.out)
+	out := ctx.out[:0]
+	for _, k := range keys {
+		for _, v := range job.Combine(k, groups[k]) {
+			out = append(out, KV[K, V]{Key: k, Value: v})
+		}
+	}
+	ctx.out = out
+}
+
+// forEachTask runs fn(i) for i in [0,n) on a bounded pool of real
+// goroutines, recovering panics from user code into errors.
+func (e *Engine) forEachTask(n int, fn func(i int) error) error {
+	workers := e.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := runTask(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		next  = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := runTask(i, fn); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return first
+}
+
+// runTask invokes fn(i), converting panics in user code into errors so a
+// bad mapper cannot take down the whole experiment process.
+func runTask(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// SortOutputInt64 sorts a result's output by int64 key, a convenience for
+// tests and examples that want stable human-readable listings.
+func SortOutputInt64[V any](out []KV[int64, V]) {
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+}

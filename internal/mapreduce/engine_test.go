@@ -1,0 +1,384 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+)
+
+func testEngine() *Engine {
+	cfg := cluster.SingleNode()
+	return NewEngine(cluster.New(cfg))
+}
+
+func ec2Engine() *Engine {
+	return NewEngine(cluster.New(cluster.EC2LargeCluster()))
+}
+
+// wordCount is the canonical MapReduce smoke test: split sentences, count
+// words.
+func wordCountJob() *Job[string, string, int] {
+	return &Job[string, string, int]{
+		Name: "wordcount",
+		Map: func(ctx *TaskContext[string, int], split Split[string]) {
+			for _, w := range strings.Fields(split.Data) {
+				ctx.Emit(w, 1)
+			}
+		},
+		Reduce: func(ctx *TaskContext[string, int], key string, values []int) {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			ctx.Emit(key, sum)
+		},
+	}
+}
+
+func textSplits(lines ...string) []Split[string] {
+	splits := make([]Split[string], len(lines))
+	for i, l := range lines {
+		splits[i] = Split[string]{ID: i, Data: l, Records: 1, Bytes: int64(len(l))}
+	}
+	return splits
+}
+
+func TestWordCount(t *testing.T) {
+	res, err := Run(testEngine(), wordCountJob(), textSplits(
+		"the quick brown fox",
+		"the lazy dog and the quick cat",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, kv := range res.Output {
+		counts[kv.Key] += kv.Value
+	}
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 1, "and": 1, "cat": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, counts[k], v)
+		}
+	}
+	if len(counts) != len(want) {
+		t.Errorf("got %d distinct words, want %d", len(counts), len(want))
+	}
+}
+
+func TestDurationPositiveAndClockAdvances(t *testing.T) {
+	e := testEngine()
+	before := e.Cluster().Now()
+	res, err := Run(e, wordCountJob(), textSplits("a b c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("job took no simulated time")
+	}
+	if e.Cluster().Now() != before+res.Duration {
+		t.Fatal("cluster clock did not advance by job duration")
+	}
+	// Job overhead is part of the total.
+	if res.Duration < e.Cluster().Config().JobOverhead {
+		t.Fatal("duration less than job overhead")
+	}
+}
+
+func TestCombinerReducesShuffleNotOutput(t *testing.T) {
+	splits := textSplits("a a a a b", "a b b b b")
+	plain, err := Run(testEngine(), wordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withComb := wordCountJob()
+	withComb.Combine = func(key string, values []int) []int {
+		sum := 0
+		for _, v := range values {
+			sum += v
+		}
+		return []int{sum}
+	}
+	combined, err := Run(testEngine(), withComb, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.ShuffleRecords >= plain.ShuffleRecords {
+		t.Fatalf("combiner did not shrink shuffle: %d vs %d",
+			combined.ShuffleRecords, plain.ShuffleRecords)
+	}
+	// Results identical.
+	pc, cc := map[string]int{}, map[string]int{}
+	for _, kv := range plain.Output {
+		pc[kv.Key] += kv.Value
+	}
+	for _, kv := range combined.Output {
+		cc[kv.Key] += kv.Value
+	}
+	for k, v := range pc {
+		if cc[k] != v {
+			t.Errorf("combiner changed result for %q: %d vs %d", k, cc[k], v)
+		}
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	job := &Job[int, int64, int]{
+		Name: "maponly",
+		Map: func(ctx *TaskContext[int64, int], split Split[int]) {
+			ctx.Emit(int64(split.Data), split.Data*10)
+		},
+	}
+	splits := []Split[int]{{ID: 0, Data: 1, Records: 1}, {ID: 1, Data: 2, Records: 1}}
+	res, err := Run(testEngine(), job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 0 || res.ShuffleRecords != 0 {
+		t.Fatalf("map-only job ran reduces: %+v", res)
+	}
+	if len(res.Output) != 2 {
+		t.Fatalf("output %v", res.Output)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	job := wordCountJob()
+	splits := textSplits("x y z x", "y x w", "w w w")
+	a, err := Run(ec2Engine(), job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ec2Engine(), job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration {
+		t.Fatalf("durations differ: %v vs %v", a.Duration, b.Duration)
+	}
+	if len(a.Output) != len(b.Output) {
+		t.Fatal("output lengths differ")
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("output order differs at %d: %v vs %v", i, a.Output[i], b.Output[i])
+		}
+	}
+}
+
+func TestPanicsInUserCodeBecomeErrors(t *testing.T) {
+	job := &Job[string, string, int]{
+		Name: "boom",
+		Map: func(ctx *TaskContext[string, int], split Split[string]) {
+			panic("mapper exploded")
+		},
+		Reduce: func(ctx *TaskContext[string, int], key string, values []int) {},
+	}
+	_, err := Run(testEngine(), job, textSplits("a"))
+	if err == nil || !strings.Contains(err.Error(), "mapper exploded") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}
+
+func TestReducePanicSurfaced(t *testing.T) {
+	job := wordCountJob()
+	job.Reduce = func(ctx *TaskContext[string, int], key string, values []int) {
+		panic("reducer exploded")
+	}
+	_, err := Run(testEngine(), job, textSplits("a b"))
+	if err == nil || !strings.Contains(err.Error(), "reducer exploded") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Run(testEngine(), &Job[string, string, int]{Name: "nil-map"}, textSplits("a")); err == nil {
+		t.Fatal("nil Map accepted")
+	}
+	if _, err := Run(testEngine(), wordCountJob(), nil); err == nil {
+		t.Fatal("empty splits accepted")
+	}
+	bad := wordCountJob()
+	bad.NumReduces = -1
+	if _, err := Run(testEngine(), bad, textSplits("a")); err == nil {
+		t.Fatal("negative NumReduces accepted")
+	}
+	evil := wordCountJob()
+	evil.Partition = func(k string, n int) int { return n + 3 }
+	if _, err := Run(testEngine(), evil, textSplits("a")); err == nil {
+		t.Fatal("out-of-range partitioner accepted")
+	}
+}
+
+func TestCountersAggregate(t *testing.T) {
+	job := &Job[string, string, int]{
+		Name: "counting",
+		Map: func(ctx *TaskContext[string, int], split Split[string]) {
+			ctx.Counter("records", 1)
+			ctx.Emit(split.Data, 1)
+		},
+		Reduce: func(ctx *TaskContext[string, int], key string, values []int) {
+			ctx.Counter("groups", 1)
+		},
+	}
+	res, err := Run(testEngine(), job, textSplits("a", "b", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters["records"] != 3 {
+		t.Fatalf("records counter = %d", res.Counters["records"])
+	}
+	if res.Counters["groups"] != 2 {
+		t.Fatalf("groups counter = %d", res.Counters["groups"])
+	}
+}
+
+func TestFailureInjectionExtendsRuntime(t *testing.T) {
+	reliable := cluster.EC2LargeCluster()
+	reliable.FailureProb = 0
+	reliable.StragglerJitter = 0
+	flaky := cluster.EC2LargeCluster()
+	flaky.FailureProb = 0.2
+	flaky.StragglerJitter = 0
+
+	splits := make([]Split[string], 64)
+	for i := range splits {
+		splits[i] = Split[string]{ID: i, Data: "a b c d e f", Records: 6, Bytes: 64}
+	}
+	r1, err := Run(NewEngine(cluster.New(reliable)), wordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(NewEngine(cluster.New(flaky)), wordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Failures == 0 {
+		t.Fatal("no failures sampled at 20% probability over 64 tasks")
+	}
+	if r2.Duration <= r1.Duration {
+		t.Fatalf("failures did not extend runtime: %v vs %v", r2.Duration, r1.Duration)
+	}
+	// Output still correct under replay.
+	if len(r2.Output) != len(r1.Output) {
+		t.Fatal("failure replay changed output")
+	}
+}
+
+func TestShuffleAccounting(t *testing.T) {
+	res, err := Run(ec2Engine(), wordCountJob(), textSplits("a b", "c d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShuffleRecords != 4 {
+		t.Fatalf("shuffle records = %d, want 4", res.ShuffleRecords)
+	}
+	if res.ShuffleBytes != 4*16 {
+		t.Fatalf("shuffle bytes = %d, want 64 (default 16/record)", res.ShuffleBytes)
+	}
+	m := ec2Engine().Cluster().Metrics()
+	_ = m // metrics accessors covered in cluster tests
+}
+
+func TestGroupByKeyPreservesFirstSeenOrder(t *testing.T) {
+	records := []KV[string, int]{
+		{"b", 1}, {"a", 2}, {"b", 3}, {"c", 4}, {"a", 5},
+	}
+	keys, groups := groupByKey(records)
+	if len(keys) != 3 || keys[0] != "b" || keys[1] != "a" || keys[2] != "c" {
+		t.Fatalf("key order %v", keys)
+	}
+	if got := groups["b"]; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("group b = %v", got)
+	}
+}
+
+// Property: reduce over the engine computes the same sums as a direct
+// fold, for arbitrary key/value sets.
+func TestEngineMatchesDirectFold(t *testing.T) {
+	f := func(data []uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		// Build splits of up to 8 records each; key space 0..7.
+		var splits []Split[[]uint8]
+		for i := 0; i < len(data); i += 8 {
+			end := i + 8
+			if end > len(data) {
+				end = len(data)
+			}
+			splits = append(splits, Split[[]uint8]{ID: len(splits), Data: data[i:end], Records: int64(end - i)})
+		}
+		job := &Job[[]uint8, int64, int]{
+			Name:      "fold",
+			Partition: Int64Partition,
+			Map: func(ctx *TaskContext[int64, int], split Split[[]uint8]) {
+				for _, b := range split.Data {
+					ctx.Emit(int64(b%8), int(b))
+				}
+			},
+			Reduce: func(ctx *TaskContext[int64, int], key int64, values []int) {
+				sum := 0
+				for _, v := range values {
+					sum += v
+				}
+				ctx.Emit(key, sum)
+			},
+		}
+		res, err := Run(testEngine(), job, splits)
+		if err != nil {
+			return false
+		}
+		want := map[int64]int{}
+		for _, b := range data {
+			want[int64(b%8)] += int(b)
+		}
+		got := map[int64]int{}
+		for _, kv := range res.Output {
+			got[kv.Key] += kv.Value
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64Partition(t *testing.T) {
+	for _, k := range []int64{0, 1, -1, 63, -100000, 1 << 40} {
+		p := Int64Partition(k, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("Int64Partition(%d,7) = %d", k, p)
+		}
+	}
+}
+
+func TestSortOutputInt64(t *testing.T) {
+	out := []KV[int64, int]{{3, 0}, {1, 0}, {2, 0}}
+	SortOutputInt64(out)
+	if out[0].Key != 1 || out[1].Key != 2 || out[2].Key != 3 {
+		t.Fatalf("not sorted: %v", out)
+	}
+}
+
+func TestSingleWorkerFallback(t *testing.T) {
+	e := testEngine()
+	e.Parallelism = 1
+	res, err := Run(e, wordCountJob(), textSplits("a b", "b c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) == 0 {
+		t.Fatal("no output from serial engine")
+	}
+}

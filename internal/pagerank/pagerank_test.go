@@ -1,0 +1,289 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+	"repro/internal/partition"
+)
+
+func engine() *mapreduce.Engine {
+	return mapreduce.NewEngine(cluster.New(cluster.EC2LargeCluster()))
+}
+
+func subgraphs(t *testing.T, g *graph.Graph, k int) []*graph.SubGraph {
+	t.Helper()
+	a, err := partition.Partition(g, k, partition.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subs
+}
+
+// referenceRanks computes PageRank serially with the paper's update rule
+// until the same convergence bound, as ground truth.
+func referenceRanks(g *graph.Graph, damping, eps float64) []float64 {
+	n := g.NumNodes()
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1
+	}
+	deg := g.OutDegrees()
+	for iter := 0; iter < 10000; iter++ {
+		contrib := make([]float64, n)
+		for u, adj := range g.Out {
+			if deg[u] == 0 {
+				continue
+			}
+			c := ranks[u] / float64(deg[u])
+			for _, v := range adj {
+				contrib[v] += c
+			}
+		}
+		delta := 0.0
+		for v := 0; v < n; v++ {
+			nr := (1 - damping) + damping*contrib[v]
+			if d := math.Abs(nr - ranks[v]); d > delta {
+				delta = d
+			}
+			ranks[v] = nr
+		}
+		if delta < eps {
+			break
+		}
+	}
+	return ranks
+}
+
+func smallGraph() *graph.Graph {
+	return graph.MustGenerate(graph.GraphAConfig().Scaled(140)) // 2000 nodes
+}
+
+func TestGeneralMatchesReference(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	res, err := Run(engine(), subs, DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceRanks(g, 0.85, 1e-5)
+	for u := range want {
+		if d := math.Abs(res.Ranks[u] - want[u]); d > 1e-3 {
+			t.Fatalf("node %d rank %g vs reference %g", u, res.Ranks[u], want[u])
+		}
+	}
+	if !res.Stats.Converged {
+		t.Fatal("general did not converge")
+	}
+}
+
+func TestEagerMatchesGeneral(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	gen, err := Run(engine(), subs, DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eag, err := Run(engine(), subs, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range gen.Ranks {
+		if d := math.Abs(gen.Ranks[u] - eag.Ranks[u]); d > 1e-3 {
+			t.Fatalf("node %d: general %g eager %g", u, gen.Ranks[u], eag.Ranks[u])
+		}
+	}
+	if !eag.Stats.Converged {
+		t.Fatal("eager did not converge")
+	}
+	// The paper's core claims on this workload.
+	if eag.Stats.GlobalIterations >= gen.Stats.GlobalIterations {
+		t.Fatalf("eager took %d global iterations, general %d",
+			eag.Stats.GlobalIterations, gen.Stats.GlobalIterations)
+	}
+	if eag.Stats.Duration >= gen.Stats.Duration {
+		t.Fatalf("eager took %v, general %v", eag.Stats.Duration, gen.Stats.Duration)
+	}
+	if eag.Stats.LocalIterations == 0 {
+		t.Fatal("eager performed no local iterations")
+	}
+	// Two-level scheme has more total synchronizations (partial+global)
+	// than the general scheme's global count (§II).
+	if eag.Stats.TotalSynchronizations() <= int64(gen.Stats.GlobalIterations) {
+		t.Fatal("eager total synchronization count suspiciously low")
+	}
+}
+
+func TestEagerWithThreadsMatches(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 4)
+	cfg := DefaultConfig()
+	plain, err := Run(engine(), subs, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Threads = 4
+	threaded, err := Run(engine(), subs, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range plain.Ranks {
+		if plain.Ranks[u] != threaded.Ranks[u] {
+			t.Fatalf("thread pool changed rank of %d: %g vs %g",
+				u, plain.Ranks[u], threaded.Ranks[u])
+		}
+	}
+	// Charged local compute shrinks with the thread pool, so simulated
+	// time must not increase.
+	if threaded.Stats.Duration > plain.Stats.Duration {
+		t.Fatalf("threads slowed simulation: %v vs %v",
+			threaded.Stats.Duration, plain.Stats.Duration)
+	}
+}
+
+func TestEagerLocalIterCapBoundsIterations(t *testing.T) {
+	// MaxLocalIters=1 degrades eager to one local sweep per global
+	// synchronization. Because the gmap's global emission uses the
+	// post-sweep ranks, each global iteration carries one local update
+	// plus the global reduction — so the capped run needs between half
+	// and all of the general iteration count, and uncapped eager needs
+	// no more than the capped run.
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	gen, err := Run(engine(), subs, DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxLocalIters = 1
+	capped, err := Run(engine(), subs, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := gen.Stats.GlobalIterations/2-2, gen.Stats.GlobalIterations
+	if it := capped.Stats.GlobalIterations; it < lo || it > hi {
+		t.Fatalf("capped eager %d iterations, want within [%d,%d] of general %d",
+			it, lo, hi, gen.Stats.GlobalIterations)
+	}
+	full, err := Run(engine(), subs, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.GlobalIterations > capped.Stats.GlobalIterations {
+		t.Fatalf("uncapped eager %d iterations exceeds capped %d",
+			full.Stats.GlobalIterations, capped.Stats.GlobalIterations)
+	}
+}
+
+func TestSinglePartitionConvergesInTwoIterations(t *testing.T) {
+	// k=1: the whole graph in one gmap; local MapReduce computes the
+	// final ranks, so the driver needs one iteration to converge the
+	// ranks and one to observe a zero delta.
+	g := smallGraph()
+	subs := subgraphs(t, g, 1)
+	res, err := Run(engine(), subs, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.GlobalIterations > 2 {
+		t.Fatalf("k=1 eager took %d global iterations", res.Stats.GlobalIterations)
+	}
+	want := referenceRanks(g, 0.85, 1e-5)
+	for u := range want {
+		if d := math.Abs(res.Ranks[u] - want[u]); d > 1e-3 {
+			t.Fatalf("node %d rank %g vs reference %g", u, res.Ranks[u], want[u])
+		}
+	}
+}
+
+func TestCombinerDoesNotChangeResults(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	cfg := DefaultConfig()
+	plain, err := Run(engine(), subs, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Combiner = true
+	comb, err := Run(engine(), subs, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range plain.Ranks {
+		if math.Abs(plain.Ranks[u]-comb.Ranks[u]) > 1e-9 {
+			t.Fatalf("combiner changed rank of node %d", u)
+		}
+	}
+	if plain.Stats.GlobalIterations != comb.Stats.GlobalIterations {
+		t.Fatal("combiner changed iteration count")
+	}
+}
+
+func TestRankConservation(t *testing.T) {
+	// With the paper's non-normalized formula, total rank converges near
+	// n - damping*danglingMass; sanity-check it stays within [n/2, 2n].
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	res, err := Run(engine(), subs, DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, r := range res.Ranks {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		total += r
+	}
+	n := float64(g.NumNodes())
+	if total < n/2 || total > 2*n {
+		t.Fatalf("total rank %g implausible for n=%g", total, n)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 2)
+	bad := []Config{
+		{Damping: 0, Epsilon: 1e-5},
+		{Damping: 1, Epsilon: 1e-5},
+		{Damping: 0.85, Epsilon: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(engine(), subs, cfg, false); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Run(engine(), nil, DefaultConfig(), false); err == nil {
+		t.Error("empty partitions accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g := smallGraph()
+	subs1 := subgraphs(t, g, 8)
+	a, err := Run(engine(), subs1, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs2 := subgraphs(t, g, 8)
+	b, err := Run(engine(), subs2, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.GlobalIterations != b.Stats.GlobalIterations || a.Stats.Duration != b.Stats.Duration {
+		t.Fatal("runs not deterministic")
+	}
+	for u := range a.Ranks {
+		if a.Ranks[u] != b.Ranks[u] {
+			t.Fatal("ranks not bit-identical across runs")
+		}
+	}
+}

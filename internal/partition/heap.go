@@ -1,0 +1,57 @@
+package partition
+
+// gainItem is a frontier candidate in greedy graph growing: vertex v with
+// its connectivity to the growing region at push time. Entries go stale
+// when connectivity changes; consumers re-check against the live conn
+// array and discard stale pops (lazy deletion).
+type gainItem struct {
+	v    int32
+	gain int64
+}
+
+// gainHeap is a max-heap of gainItems. A hand-rolled heap avoids
+// container/heap's interface boxing on the partitioner's hot path.
+type gainHeap struct {
+	a []gainItem
+}
+
+func (h *gainHeap) len() int { return len(h.a) }
+
+func (h *gainHeap) reset() { h.a = h.a[:0] }
+
+func (h *gainHeap) push(it gainItem) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent].gain >= h.a[i].gain {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+
+func (h *gainHeap) pop() gainItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.a[l].gain > h.a[big].gain {
+			big = l
+		}
+		if r < last && h.a[r].gain > h.a[big].gain {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.a[i], h.a[big] = h.a[big], h.a[i]
+		i = big
+	}
+	return top
+}

@@ -1,0 +1,169 @@
+package simtime
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(3 * Second)
+	c.Advance(500 * Millisecond)
+	if got := c.Now(); got != 3.5 {
+		t.Fatalf("Now = %v, want 3.5s", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(5 * Second)
+	c.AdvanceTo(3 * Second) // earlier: no-op
+	if c.Now() != 5 {
+		t.Fatalf("AdvanceTo moved clock backwards to %v", c.Now())
+	}
+	c.AdvanceTo(8 * Second)
+	if c.Now() != 8 {
+		t.Fatalf("AdvanceTo = %v, want 8", c.Now())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Microsecond, "µs"},
+		{20 * Millisecond, "ms"},
+		{5 * Second, "s"},
+		{3 * Minute, "m"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String(%v) = %q, want unit %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestMaxSumOver(t *testing.T) {
+	ds := []Duration{3, 1, 2}
+	if MaxOver(ds) != 3 {
+		t.Fatalf("MaxOver = %v", MaxOver(ds))
+	}
+	if SumOver(ds) != 6 {
+		t.Fatalf("SumOver = %v", SumOver(ds))
+	}
+	if MaxOver(nil) != 0 || SumOver(nil) != 0 {
+		t.Fatal("empty aggregates should be zero")
+	}
+}
+
+func TestMakespanBasics(t *testing.T) {
+	tasks := []Duration{4, 3, 2, 1}
+	// One slot: serial.
+	if got := MakespanLPT(tasks, 1); got != 10 {
+		t.Fatalf("serial makespan = %v, want 10", got)
+	}
+	// Two slots: LPT gives {4,1} {3,2} -> 5.
+	if got := MakespanLPT(tasks, 2); got != 5 {
+		t.Fatalf("2-slot makespan = %v, want 5", got)
+	}
+	// More slots than tasks: longest task dominates.
+	if got := MakespanLPT(tasks, 10); got != 4 {
+		t.Fatalf("10-slot makespan = %v, want 4", got)
+	}
+	if got := MakespanLPT(nil, 4); got != 0 {
+		t.Fatalf("empty makespan = %v, want 0", got)
+	}
+}
+
+// Makespan invariants: at least max task and work/slots; at most serial
+// sum; monotone non-increasing in slot count.
+func TestMakespanInvariants(t *testing.T) {
+	f := func(raw []uint16, slots8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		slots := int(slots8)%16 + 1
+		tasks := make([]Duration, len(raw))
+		var sum, max Duration
+		for i, r := range raw {
+			tasks[i] = Duration(r) * Millisecond
+			sum += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		got := MakespanLPT(tasks, slots)
+		lower := max
+		if perfect := sum / Duration(slots); perfect > lower {
+			lower = perfect
+		}
+		if got < lower-1e-9 || got > sum+1e-9 {
+			return false
+		}
+		more := MakespanLPT(tasks, slots+1)
+		return more <= got+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// LPT is a 4/3-approximation: verify against the trivial lower bound.
+func TestMakespanLPTQuality(t *testing.T) {
+	f := func(raw []uint16, slots8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		slots := int(slots8)%8 + 1
+		tasks := make([]Duration, len(raw))
+		var sum, max Duration
+		for i, r := range raw {
+			tasks[i] = Duration(r%1000) * Millisecond
+			sum += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		lower := max
+		if perfect := sum / Duration(slots); perfect > lower {
+			lower = perfect
+		}
+		got := MakespanLPT(tasks, slots)
+		if lower == 0 {
+			return got == 0
+		}
+		return float64(got/lower) <= 4.0/3+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanDeterminism(t *testing.T) {
+	tasks := []Duration{5, 5, 5, 1, 1, 1, 9}
+	a := MakespanLPT(tasks, 3)
+	b := MakespanLPT(tasks, 3)
+	if math.Abs(float64(a-b)) > 0 {
+		t.Fatal("makespan not deterministic")
+	}
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// InfNorm returns the infinity norm (max absolute value) of v.
+// The paper's PageRank convergence test is an infinity-norm bound of 1e-5
+// on the per-node rank delta.
+func InfNorm(v []float64) float64 {
+	max := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// InfNormDiff returns the infinity norm of a-b. It panics if the slices
+// have different lengths, which always indicates a caller bug.
+func InfNormDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: InfNormDiff length mismatch")
+	}
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// L2Norm returns the Euclidean norm of v.
+func L2Norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// EuclideanDistance returns the L2 distance between points a and b.
+// K-Means uses this both for assignment and for the centroid-movement
+// convergence threshold (paper §V-D).
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: EuclideanDistance dimension mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// GeoMean returns the geometric mean of v, treating non-positive entries
+// as 1 (they contribute nothing). Used to summarize speedup series the way
+// the paper reports "on average 8x".
+func GeoMean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	n := 0
+	for _, x := range v {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Median returns the median of v (average of middle two for even length).
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	m := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[m]
+	}
+	return (c[m-1] + c[m]) / 2
+}
+
+// MinMax returns the minimum and maximum of v. For an empty slice both
+// results are 0.
+func MinMax(v []float64) (min, max float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	min, max = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a, slope b and the coefficient of determination r².
+// Degenerate inputs (fewer than two points, zero x-variance) return zeros.
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0
+	}
+	n := float64(len(x))
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return my, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	// r² = explained variance fraction.
+	r2 = (sxy * sxy) / (sxx * syy)
+	_ = n
+	return a, b, r2
+}
