@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/async"
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/harness"
@@ -391,5 +392,144 @@ func BenchmarkSSSPEagerSingleRun(b *testing.B) {
 		if _, err := sssp.Run(ec2Engine(), subs, sssp.Config{Source: 0}, true); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Async mode: bounded-staleness execution (DESIGN.md §5) --------------
+
+// BenchmarkAsyncModesPageRank compares sim-time-to-convergence and
+// iteration counts across all three scheduling modes on one partitioned
+// graph: the async mode must beat eager in simulated time (it pays one
+// job launch for the whole run) while taking more, cheaper, stale
+// iterations.
+func BenchmarkAsyncModesPageRank(b *testing.B) {
+	f := buildPRFixture(b, []partition.Method{partition.Multilevel}, 8)
+	for i := 0; i < b.N; i++ {
+		gen, err := pagerank.Run(ec2Engine(), f.subs["multilevel"], pagerank.DefaultConfig(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eag, err := pagerank.Run(ec2Engine(), f.subs["multilevel"], pagerank.DefaultConfig(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asy, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), f.subs["multilevel"],
+			pagerank.DefaultConfig(), async.Options{Staleness: harness.DefaultStaleness})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(gen.Stats.Duration.Seconds(), "sim-seconds-general")
+		b.ReportMetric(eag.Stats.Duration.Seconds(), "sim-seconds-eager")
+		b.ReportMetric(asy.Stats.Duration.Seconds(), "sim-seconds-async")
+		b.ReportMetric(float64(gen.Stats.GlobalIterations), "iters-general")
+		b.ReportMetric(float64(eag.Stats.GlobalIterations), "iters-eager")
+		b.ReportMetric(asy.Stats.MeanSteps, "iters-async")
+		if asy.Stats.Duration > 0 {
+			b.ReportMetric(eag.Stats.Duration.Seconds()/asy.Stats.Duration.Seconds(), "speedup-async-vs-eager")
+		}
+	}
+}
+
+// BenchmarkAsyncModesGraphB mirrors the comparison on the denser Graph B.
+func BenchmarkAsyncModesGraphB(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphBConfig().Scaled(benchScale))
+	a, err := partition.Partition(g, 8, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		eag, err := pagerank.Run(ec2Engine(), subs, pagerank.DefaultConfig(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asy, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs,
+			pagerank.DefaultConfig(), async.Options{Staleness: harness.DefaultStaleness})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(eag.Stats.Duration.Seconds(), "sim-seconds-eager")
+		b.ReportMetric(asy.Stats.Duration.Seconds(), "sim-seconds-async")
+		if asy.Stats.Duration > 0 {
+			b.ReportMetric(eag.Stats.Duration.Seconds()/asy.Stats.Duration.Seconds(), "speedup-async-vs-eager")
+		}
+	}
+}
+
+// BenchmarkAsyncStaleness sweeps the staleness bound on one workload:
+// the scenario axis the async subsystem opens. Lockstep (S=0) pays gate
+// waits; free-running (unbounded) pays extra stale steps.
+func BenchmarkAsyncStaleness(b *testing.B) {
+	f := buildPRFixture(b, []partition.Method{partition.Multilevel}, 8)
+	for _, s := range []int{0, 2, 8, async.Unbounded} {
+		name := fmt.Sprintf("S=%d", s)
+		if s == async.Unbounded {
+			name = "S=inf"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), f.subs["multilevel"],
+					pagerank.DefaultConfig(), async.Options{Staleness: s})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-async")
+				b.ReportMetric(res.Stats.MeanSteps, "steps-mean")
+				b.ReportMetric(float64(res.Stats.GateWaits), "gate-waits")
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncSSSP measures the async mode on the monotone workload,
+// where any staleness still yields exact distances.
+func BenchmarkAsyncSSSP(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	g.AssignUniformWeights(1, 100, 42)
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		eag, err := sssp.Run(ec2Engine(), subs, sssp.Config{Source: 0}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asy, err := sssp.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs,
+			sssp.Config{Source: 0}, async.Options{Staleness: harness.DefaultStaleness})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(eag.Stats.Duration.Seconds(), "sim-seconds-eager")
+		b.ReportMetric(asy.Stats.Duration.Seconds(), "sim-seconds-async")
+	}
+}
+
+// BenchmarkAsyncKMeans measures the parameter-server style dense
+// exchange: every partition reads every other's accumulators.
+func BenchmarkAsyncKMeans(b *testing.B) {
+	pts, err := kmeans.GenerateCensus(kmeans.DefaultCensusConfig().Scaled(benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		eag, err := kmeans.Run(ec2Engine(), pts, 13, kmeans.DefaultConfig(0.01), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asy, err := kmeans.RunAsync(cluster.New(cluster.EC2LargeCluster()), pts, 13,
+			kmeans.DefaultConfig(0.01), async.Options{Staleness: harness.DefaultStaleness})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(eag.Stats.Duration.Seconds(), "sim-seconds-eager")
+		b.ReportMetric(asy.Stats.Duration.Seconds(), "sim-seconds-async")
 	}
 }

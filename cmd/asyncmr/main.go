@@ -1,10 +1,24 @@
 // Command asyncmr regenerates the paper's tables and figures
 // ("Asynchronous Algorithms in MapReduce", Kambatla et al., CLUSTER
-// 2010) on the simulated 8-node EC2 Hadoop testbed.
+// 2010) on the simulated 8-node EC2 Hadoop testbed, and runs the
+// repository's third scheduling mode — fully-asynchronous execution with
+// bounded staleness (internal/async) — alongside the paper's general
+// and eager formulations.
 //
 // Usage:
 //
-//	asyncmr [-scale N] [-v] table1|table2|figure2|...|figure9|scale|all
+//	asyncmr [-scale N] [-v] [-mode M] [-staleness S] <experiment>
+//
+// Experiments:
+//
+//	table1 table2      the paper's tables
+//	figure2..figure9   the paper's figures (general vs eager)
+//	scale              §VI 460-node scalability remark
+//	asyncA asyncB      three-mode comparison figures (Graphs A, B)
+//	staleness          async staleness sweep (new scenario axis)
+//	run                run PageRank, SSSP and K-Means end to end in the
+//	                   mode selected by -mode/-staleness
+//	all                everything above except run
 //
 // With -scale 1 the workloads match the paper's sizes (280K/100K-node
 // graphs, 200K census points); the default scale 8 runs the whole suite
@@ -16,15 +30,19 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/async"
 	"repro/internal/harness"
 )
 
 func main() {
 	scale := flag.Int("scale", 8, "workload scale divisor; 1 = paper-size inputs")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	mode := flag.String("mode", "general", "scheduling mode for 'run': general, eager or async")
+	staleness := flag.Int("staleness", harness.DefaultStaleness,
+		"staleness bound S for async mode; negative = unbounded free-running")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale all\n")
+		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,14 +54,19 @@ func main() {
 	s := harness.NewSuite(*scale)
 	s.Quiet = !*verbose
 	s.Out = os.Stderr
+	if *staleness < 0 {
+		s.AsyncStaleness = async.Unbounded
+	} else {
+		s.AsyncStaleness = *staleness
+	}
 
-	if err := run(s, flag.Arg(0)); err != nil {
+	if err := run(s, flag.Arg(0), *mode); err != nil {
 		fmt.Fprintf(os.Stderr, "asyncmr: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(s *harness.Suite, what string) error {
+func run(s *harness.Suite, what, mode string) error {
 	out := os.Stdout
 	renderPair := func(a, b *harness.Figure, first bool) {
 		if first {
@@ -87,6 +110,31 @@ func run(s *harness.Suite, what string) error {
 			return err
 		}
 		f.Render(out)
+	case "asyncA", "asyncB":
+		var itFig, tFig *harness.Figure
+		var err error
+		if what == "asyncA" {
+			itFig, tFig, err = s.FiguresAsyncA()
+		} else {
+			itFig, tFig, err = s.FiguresAsyncB()
+		}
+		if err != nil {
+			return err
+		}
+		itFig.Render(out)
+		tFig.Render(out)
+	case "staleness":
+		f, err := s.StalenessSweep()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
+	case "run":
+		rows, err := s.RunWorkloads(mode, s.AsyncStaleness)
+		if err != nil {
+			return err
+		}
+		harness.RenderWorkloadRows(out, rows, s.AsyncStaleness)
 	case "all":
 		s.Table1(out)
 		if err := s.Table2(out); err != nil {
@@ -111,6 +159,22 @@ func run(s *harness.Suite, what string) error {
 		for _, f := range []*harness.Figure{f2, f3, f4, f5, f6, f7, f8, f9} {
 			f.Render(out)
 		}
+		aIt, aT, err := s.FiguresAsyncA()
+		if err != nil {
+			return err
+		}
+		bIt, bT, err := s.FiguresAsyncB()
+		if err != nil {
+			return err
+		}
+		for _, f := range []*harness.Figure{aIt, aT, bIt, bT} {
+			f.Render(out)
+		}
+		fst, err := s.StalenessSweep()
+		if err != nil {
+			return err
+		}
+		fst.Render(out)
 		fs, err := s.Scalability()
 		if err != nil {
 			return err

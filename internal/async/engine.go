@@ -1,0 +1,409 @@
+// Package async is the fully-asynchronous bounded-staleness runtime, the
+// third scheduling mode next to the general (synchronous MapReduce) and
+// eager (partial synchronization) formulations. It follows the direction
+// of the asynchronous-dataflow literature (Gonzalez et al.'s ASIP,
+// Hannah & Yin's "more iterations per second", the stale synchronous
+// parallel parameter server): per-partition workers iterate
+// independently against a shared versioned state store, reading
+// neighbor-partition state that may be up to S versions stale.
+//
+//   - S = 0 degenerates to lockstep: a worker may never publish ahead of
+//     an active neighbor, recovering BSP-like waves without a global
+//     barrier primitive.
+//   - S = Unbounded is free-running chaotic iteration: workers never
+//     wait; staleness is limited only by relative execution speed.
+//   - Intermediate S is the stale-synchronous-parallel regime: fast
+//     workers run ahead until the bound forces them to let laggards
+//     catch up.
+//
+// Execution is a deterministic discrete-event simulation: real user
+// compute runs for every step, but ordering and cost come from the
+// virtual clock (package simtime) and the cluster cost model (package
+// cluster), so runs replay identically for a fixed configuration. The
+// versioned store (Store) is nevertheless safe for concurrent use and is
+// exercised from real goroutines by its own tests, keeping it honest as
+// the substrate a wall-clock-parallel runtime would share.
+package async
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+)
+
+// Unbounded disables the staleness gate: workers free-run.
+const Unbounded = -1
+
+// DefaultMaxSteps bounds per-worker steps when Options.MaxSteps is zero;
+// hitting it means the workload is not settling (oscillation or a
+// divergent update rule) and is reported as Converged=false.
+const DefaultMaxSteps = 10000
+
+// Options configure an asynchronous run.
+type Options struct {
+	// Staleness is the bound S: a worker may read neighbor state at most
+	// S versions behind its own publication counter. 0 is lockstep,
+	// Unbounded (negative) is free-running.
+	Staleness int
+	// MaxSteps caps the steps of each worker (0 = DefaultMaxSteps).
+	MaxSteps int
+}
+
+// StepOutcome is what one worker step hands back to the engine.
+type StepOutcome[D any] struct {
+	// Publish, when true, appends Data as the partition's next version.
+	// Workers publish only on material change; a no-change step
+	// publishing anyway would wake every reader and livelock the system
+	// at the floating-point noise floor.
+	Publish bool
+	// Data is the new boundary state (meaningful when Publish).
+	Data D
+	// Bytes is the serialized size of Data, pricing the push.
+	Bytes int64
+	// Ops is the user compute performed, priced at the cluster's rate.
+	Ops int64
+	// LocalIters counts local sweeps inside the step, each priced one
+	// LocalSyncOverhead (the same in-memory barrier the eager mode pays).
+	LocalIters int64
+	// Quiescent reports local convergence: the step changed (almost)
+	// nothing, so the worker should sleep until fresher input arrives.
+	// A non-quiescent worker is immediately rescheduled.
+	Quiescent bool
+}
+
+// Workload adapts one algorithm to the asynchronous runtime. This is the
+// common iterate-until-converged contract all three workloads (PageRank,
+// SSSP, K-Means) implement; the engine is oblivious to what D holds.
+type Workload[D any] interface {
+	// Parts returns the number of partitions (= workers).
+	Parts() int
+	// Neighbors lists the partitions whose published state partition p
+	// reads, in a fixed deterministic order, excluding p itself.
+	Neighbors(p int) []int
+	// Init returns partition p's initial published state (version 0,
+	// visible from virtual time zero — the job input already resides on
+	// the DFS) and the partition's input size in bytes, which prices the
+	// worker's one-time startup read.
+	Init(p int) (data D, inputBytes int64)
+	// Step runs one asynchronous super-step for partition p: integrate
+	// the given neighbor snapshots (parallel to Neighbors(p)), advance
+	// local state, and report what changed. step counts prior calls for
+	// this partition.
+	Step(p int, step int, inputs []Snapshot[D]) StepOutcome[D]
+}
+
+// RunStats summarizes an asynchronous run.
+type RunStats struct {
+	// Steps is the total worker steps executed; MeanSteps averages them
+	// per worker — the asynchronous analogue of the figures' global
+	// iteration count.
+	Steps     int64
+	MeanSteps float64
+	// Publishes and PushedBytes measure the asynchronous synchronization
+	// traffic that replaces the shuffle.
+	Publishes   int64
+	PushedBytes int64
+	// GateWaits counts steps delayed by the staleness bound.
+	GateWaits int64
+	// MaxLead is the largest observed lead of a worker's publication
+	// counter over a version it read from a still-active neighbor; the
+	// staleness invariant is MaxLead <= S for bounded runs. (Reads from
+	// settled partitions are excluded: their newest version is their
+	// final state.)
+	MaxLead int
+	// Failures counts replayed step attempts under the transient-failure
+	// model.
+	Failures int
+	// Converged is false when a worker hit MaxSteps instead of settling.
+	Converged bool
+	// Duration is the simulated time to global quiescence: the latest
+	// worker virtual clock.
+	Duration simtime.Duration
+	// PerWorkerSteps records each worker's step count.
+	PerWorkerSteps []int
+}
+
+// workerState is the engine's per-partition bookkeeping.
+type workerState struct {
+	clock     simtime.Duration
+	steps     int
+	version   int // publication counter; version 0 is the initial state
+	neighbors []int
+	readers   []int // partitions that read this one
+	consumed  []int // last version consumed, parallel to neighbors
+	idle      bool
+	forced    bool // stopped by MaxSteps
+	quiescent bool // last outcome's report
+	// gateWaiters lists workers blocked until this partition publishes a
+	// version (or goes idle).
+	gateWaiters []int
+}
+
+// Run executes the workload to global quiescence on the given simulated
+// cluster, advancing its clock by the run's duration.
+func Run[D any](c *cluster.Cluster, w Workload[D], opt Options) (*RunStats, error) {
+	n := w.Parts()
+	if n <= 0 {
+		return nil, fmt.Errorf("async: workload has %d partitions", n)
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	cfg := c.Config()
+	store := NewStore[D](n)
+	stats := &RunStats{Converged: true}
+
+	workers := make([]*workerState, n)
+	for p := 0; p < n; p++ {
+		nbrs := w.Neighbors(p)
+		for _, q := range nbrs {
+			if q < 0 || q >= n || q == p {
+				return nil, fmt.Errorf("async: partition %d has invalid neighbor %d", p, q)
+			}
+		}
+		workers[p] = &workerState{
+			neighbors: nbrs,
+			consumed:  make([]int, len(nbrs)),
+		}
+		for j := range workers[p].consumed {
+			workers[p].consumed[j] = -1
+		}
+	}
+	for p, st := range workers {
+		for _, q := range st.neighbors {
+			workers[q].readers = append(workers[q].readers, p)
+		}
+	}
+
+	// Startup: version 0 of every partition is the job input, visible at
+	// time zero. Workers pay one job launch (amortized over the whole
+	// run — the asynchronous runtime is a single long-lived job) plus
+	// their task start and input read before their first step.
+	var heap simtime.EventHeap
+	for p, st := range workers {
+		data, bytes := w.Init(p)
+		if err := store.Publish(p, 0, 0, data); err != nil {
+			return nil, err
+		}
+		start := cfg.TaskOverhead + c.DFSReadCost(bytes, true)
+		start = simtime.Duration(float64(start) * c.StragglerFactor())
+		st.clock = cfg.JobOverhead + start
+		heap.Push(st.clock, p)
+	}
+
+	blocked := 0
+	var totalOps int64
+	for heap.Len() > 0 {
+		ev := heap.Pop()
+		p := ev.ID
+		st := workers[p]
+		if st.clock < ev.At {
+			st.clock = ev.At
+		}
+		t := st.clock
+
+		// Staleness gate: with bound S, partition p may not run a step
+		// while its publication counter leads the visible version of any
+		// active neighbor by more than S.
+		if opt.Staleness >= 0 {
+			if q, wakeAt, wait := gateCheck(store, workers, st, t, opt.Staleness); wait {
+				stats.GateWaits++
+				if q >= 0 {
+					// The needed version does not exist yet: sleep until
+					// q publishes or goes idle.
+					workers[q].gateWaiters = append(workers[q].gateWaiters, p)
+					blocked++
+				} else {
+					// The needed version exists but becomes visible only
+					// at wakeAt: wait for it in virtual time.
+					heap.Push(wakeAt, p)
+				}
+				continue
+			}
+		}
+
+		// Read inputs visible at t and execute the step.
+		inputs := make([]Snapshot[D], len(st.neighbors))
+		for j, q := range st.neighbors {
+			snap, ok := store.ReadAt(q, t)
+			if !ok {
+				return nil, fmt.Errorf("async: partition %d invisible to %d at %v", q, p, t)
+			}
+			inputs[j] = snap
+			st.consumed[j] = snap.Version
+			// Lead is only meaningful against active neighbors: an idle
+			// partition's newest version IS its final state, so reading
+			// it at any age reads the freshest truth.
+			if !workers[q].idle && !workers[q].forced {
+				if lead := st.version - snap.Version; lead > stats.MaxLead {
+					stats.MaxLead = lead
+				}
+			}
+		}
+		out, err := runStep(w, p, st.steps, inputs)
+		if err != nil {
+			return nil, err
+		}
+		st.steps++
+		st.quiescent = out.Quiescent
+		stats.Steps++
+		totalOps += out.Ops
+
+		// Price the step.
+		d := c.ComputeCost(out.Ops)
+		d += simtime.Duration(float64(out.LocalIters)) * cfg.LocalSyncOverhead
+		if out.Publish {
+			d += c.AsyncPushCost(out.Bytes)
+		}
+		d = simtime.Duration(float64(d) * c.StragglerFactor())
+		if attempts, wasted := c.TaskAttempts(); attempts > 1 {
+			stats.Failures += attempts - 1
+			d += simtime.Duration(wasted * float64(d))
+		}
+		st.clock += d
+
+		if out.Publish {
+			st.version++
+			if err := store.Publish(p, st.version, st.clock, out.Data); err != nil {
+				return nil, err
+			}
+			stats.Publishes++
+			stats.PushedBytes += out.Bytes
+			// Wake idle readers: fresh input may un-quiesce them.
+			for _, r := range st.readers {
+				if workers[r].idle && !workers[r].forced {
+					workers[r].idle = false
+					wake := workers[r].clock
+					if st.clock > wake {
+						wake = st.clock
+					}
+					heap.Push(wake, r)
+				}
+			}
+			blocked -= releaseGateWaiters(&heap, workers, st, p)
+		}
+
+		// Decide p's own next move.
+		switch {
+		case st.steps >= maxSteps:
+			st.forced = true
+			stats.Converged = false
+			blocked -= releaseGateWaiters(&heap, workers, st, p)
+		case !out.Quiescent:
+			heap.Push(st.clock, p)
+		default:
+			if at, unseen := firstUnseen(store, st); unseen {
+				// Fresher input already exists; consume it once it is
+				// visible on p's clock.
+				if at < st.clock {
+					at = st.clock
+				}
+				heap.Push(at, p)
+			} else {
+				st.idle = true
+				blocked -= releaseGateWaiters(&heap, workers, st, p)
+			}
+		}
+	}
+	if blocked != 0 {
+		return nil, fmt.Errorf("async: %d workers still gate-blocked at drain", blocked)
+	}
+
+	stats.PerWorkerSteps = make([]int, n)
+	var latest simtime.Duration
+	for p, st := range workers {
+		stats.PerWorkerSteps[p] = st.steps
+		if st.clock > latest {
+			latest = st.clock
+		}
+		if !st.quiescent && !st.forced {
+			stats.Converged = false
+		}
+	}
+	stats.Duration = latest
+	stats.MeanSteps = float64(stats.Steps) / float64(n)
+
+	c.Account(func(m *cluster.Metrics) {
+		m.AsyncSteps += stats.Steps
+		m.AsyncPublishes += stats.Publishes
+		m.AsyncPushedBytes += stats.PushedBytes
+		m.AsyncGateWaits += stats.GateWaits
+		m.ComputeOps += totalOps
+	})
+	c.Clock().Advance(stats.Duration)
+	return stats, nil
+}
+
+// gateCheck evaluates the staleness bound for st at time t. wait=false
+// means the step may run. Otherwise either q >= 0 (the needed version of
+// q does not exist yet; block until q publishes or idles) or q = -1 and
+// wakeAt holds the virtual time the needed version becomes visible.
+func gateCheck[D any](store *Store[D], workers []*workerState, st *workerState, t simtime.Duration, s int) (q int, wakeAt simtime.Duration, wait bool) {
+	for _, nb := range st.neighbors {
+		need := st.version - s
+		if need <= 0 {
+			continue
+		}
+		other := workers[nb]
+		if other.idle || other.forced {
+			continue // settled neighbors impose no gate
+		}
+		snap, ok := store.ReadAt(nb, t)
+		if ok && snap.Version >= need {
+			continue
+		}
+		if store.Latest(nb) >= need {
+			// Published but not yet visible: the publication time is in
+			// t's virtual future; wait exactly until then.
+			return -1, store.WaitVersion(nb, need).At, true
+		}
+		return nb, 0, true
+	}
+	return -1, 0, false
+}
+
+// releaseGateWaiters reschedules every worker blocked on st (after st
+// published, idled, or was force-stopped) and returns how many were
+// released. Waiters re-run the full gate at their event, so a premature
+// wake only re-blocks.
+func releaseGateWaiters(heap *simtime.EventHeap, workers []*workerState, st *workerState, p int) int {
+	released := len(st.gateWaiters)
+	for _, r := range st.gateWaiters {
+		wake := workers[r].clock
+		if st.clock > wake {
+			wake = st.clock
+		}
+		heap.Push(wake, r)
+	}
+	st.gateWaiters = st.gateWaiters[:0]
+	return released
+}
+
+// firstUnseen reports whether any neighbor has published a version newer
+// than what st last consumed, and the earliest virtual time such a
+// version becomes visible.
+func firstUnseen[D any](store *Store[D], st *workerState) (at simtime.Duration, unseen bool) {
+	for j, q := range st.neighbors {
+		if store.Latest(q) > st.consumed[j] {
+			snap := store.WaitVersion(q, st.consumed[j]+1)
+			if !unseen || snap.At < at {
+				at = snap.At
+				unseen = true
+			}
+		}
+	}
+	return at, unseen
+}
+
+// runStep invokes the workload step, converting panics in user code into
+// errors, mirroring the MapReduce engine's task recovery.
+func runStep[D any](w Workload[D], p, step int, inputs []Snapshot[D]) (out StepOutcome[D], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("async: partition %d step %d panicked: %v", p, step, r)
+		}
+	}()
+	return w.Step(p, step, inputs), nil
+}

@@ -1,0 +1,125 @@
+package async
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Snapshot is one published version of a partition's shared state.
+type Snapshot[D any] struct {
+	// Part is the publishing partition.
+	Part int
+	// Version counts the partition's publications; version 0 is the
+	// initial state, visible from virtual time zero.
+	Version int
+	// At is the virtual time the version became visible.
+	At simtime.Duration
+	// Data is the published payload (boundary ranks, border distances,
+	// cluster accumulators, ...). Readers must treat it as immutable.
+	Data D
+}
+
+// Store is the versioned shared state store at the center of the
+// fully-asynchronous runtime: each partition appends immutable versions
+// of its boundary state; readers fetch the newest version visible at
+// their own virtual time, which may be several versions behind the
+// writer. The store itself never blocks writers on readers — the
+// bounded-staleness gate lives in the engine, which decides when a
+// worker may advance.
+//
+// The store is safe for concurrent use: the deterministic virtual-time
+// engine is one client, and tests hammer it from many goroutines under
+// the race detector to keep it honest as a standalone component.
+type Store[D any] struct {
+	mu   sync.RWMutex
+	cond *sync.Cond
+	// parts[p] is partition p's append-only version history, ascending in
+	// both Version and At.
+	parts [][]Snapshot[D]
+}
+
+// NewStore returns an empty store for n partitions. Every partition must
+// publish its version 0 (the initial state) before any reader runs.
+func NewStore[D any](n int) *Store[D] {
+	s := &Store[D]{parts: make([][]Snapshot[D], n)}
+	s.cond = sync.NewCond(s.mu.RLocker())
+	return s
+}
+
+// NumParts returns the number of partitions.
+func (s *Store[D]) NumParts() int { return len(s.parts) }
+
+// Publish appends a new version of partition p, visible at virtual time
+// at. Versions must be dense (latest+1, starting at 0) and publication
+// times non-decreasing per partition; violations are engine bugs and
+// return errors rather than corrupting history.
+func (s *Store[D]) Publish(p, version int, at simtime.Duration, data D) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p < 0 || p >= len(s.parts) {
+		return fmt.Errorf("async: publish to partition %d of %d", p, len(s.parts))
+	}
+	hist := s.parts[p]
+	if version != len(hist) {
+		return fmt.Errorf("async: partition %d published version %d, want %d", p, version, len(hist))
+	}
+	if len(hist) > 0 && at < hist[len(hist)-1].At {
+		return fmt.Errorf("async: partition %d published version %d at %v, before version %d at %v",
+			p, version, at, len(hist)-1, hist[len(hist)-1].At)
+	}
+	s.parts[p] = append(hist, Snapshot[D]{Part: p, Version: version, At: at, Data: data})
+	s.cond.Broadcast()
+	return nil
+}
+
+// Latest returns partition p's newest published version, or -1 if p has
+// not published yet.
+func (s *Store[D]) Latest(p int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.parts[p]) - 1
+}
+
+// ReadAt returns partition p's newest snapshot visible at virtual time
+// at. ok is false when p has published nothing by then (only possible
+// before its version 0).
+func (s *Store[D]) ReadAt(p int, at simtime.Duration) (snap Snapshot[D], ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.parts[p]
+	// Binary search for the last snapshot with At <= at; history is
+	// sorted by At.
+	i := sort.Search(len(hist), func(i int) bool { return hist[i].At > at }) - 1
+	if i < 0 {
+		return snap, false
+	}
+	return hist[i], true
+}
+
+// Read returns partition p's newest snapshot regardless of time. ok is
+// false when p has never published.
+func (s *Store[D]) Read(p int) (snap Snapshot[D], ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.parts[p]
+	if len(hist) == 0 {
+		return snap, false
+	}
+	return hist[len(hist)-1], true
+}
+
+// WaitVersion blocks until partition p has published at least version v,
+// then returns that version's snapshot (not a newer one): the blocking
+// read a free-running worker performs when the staleness bound forces it
+// to observe a laggard's progress.
+func (s *Store[D]) WaitVersion(p, v int) Snapshot[D] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for len(s.parts[p]) <= v {
+		s.cond.Wait()
+	}
+	return s.parts[p][v]
+}

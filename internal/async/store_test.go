@@ -1,0 +1,139 @@
+package async
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestStorePublishRead(t *testing.T) {
+	s := NewStore[int](2)
+	if s.NumParts() != 2 {
+		t.Fatalf("NumParts = %d", s.NumParts())
+	}
+	if _, ok := s.Read(0); ok {
+		t.Fatal("empty partition readable")
+	}
+	if s.Latest(0) != -1 {
+		t.Fatal("empty partition has a latest version")
+	}
+	mustPublish := func(p, v int, at simtime.Duration, d int) {
+		t.Helper()
+		if err := s.Publish(p, v, at, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPublish(0, 0, 0, 100)
+	mustPublish(0, 1, 5*simtime.Second, 101)
+	mustPublish(0, 2, 9*simtime.Second, 102)
+
+	snap, ok := s.Read(0)
+	if !ok || snap.Version != 2 || snap.Data != 102 {
+		t.Fatalf("Read = %+v, %v", snap, ok)
+	}
+	// Time-based visibility picks the newest version at or before t.
+	cases := []struct {
+		at      simtime.Duration
+		version int
+	}{
+		{0, 0}, {4 * simtime.Second, 0}, {5 * simtime.Second, 1},
+		{8 * simtime.Second, 1}, {100 * simtime.Second, 2},
+	}
+	for _, c := range cases {
+		snap, ok := s.ReadAt(0, c.at)
+		if !ok || snap.Version != c.version {
+			t.Fatalf("ReadAt(%v) = v%d, want v%d", c.at, snap.Version, c.version)
+		}
+	}
+}
+
+func TestStoreRejectsBadPublishes(t *testing.T) {
+	s := NewStore[int](1)
+	if err := s.Publish(0, 1, 0, 0); err == nil {
+		t.Fatal("version gap accepted")
+	}
+	if err := s.Publish(0, 0, 5*simtime.Second, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(0, 0, 6*simtime.Second, 0); err == nil {
+		t.Fatal("duplicate version accepted")
+	}
+	if err := s.Publish(0, 1, 1*simtime.Second, 0); err == nil {
+		t.Fatal("time regression accepted")
+	}
+	if err := s.Publish(2, 0, 0, 0); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+// TestStoreConcurrentAccess is the race-detector workout for the shared
+// store: writers append monotone version chains per partition while
+// readers mix latest reads, time-bounded reads, and blocking version
+// waits. Run with -race (the CI workflow does).
+func TestStoreConcurrentAccess(t *testing.T) {
+	const (
+		parts    = 8
+		versions = 200
+		readers  = 4
+	)
+	s := NewStore[int](parts)
+	var wg sync.WaitGroup
+
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for v := 0; v < versions; v++ {
+				at := simtime.Duration(v) * simtime.Millisecond
+				if err := s.Publish(p, v, at, p*1000+v); err != nil {
+					t.Errorf("publish p%d v%d: %v", p, v, err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Blocking readers: wait for the final version of every partition.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for p := 0; p < parts; p++ {
+				snap := s.WaitVersion(p, versions-1)
+				if snap.Data != p*1000+versions-1 {
+					t.Errorf("WaitVersion(p%d) data %d", p, snap.Data)
+				}
+			}
+		}(r)
+	}
+
+	// Polling readers: versions must be consistent with their payloads
+	// and monotone per partition.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := make([]int, parts)
+			for i := range last {
+				last[i] = -1
+			}
+			for i := 0; i < 2000; i++ {
+				p := i % parts
+				if snap, ok := s.Read(p); ok {
+					if snap.Data != p*1000+snap.Version {
+						t.Errorf("torn read: p%d v%d data %d", p, snap.Version, snap.Data)
+					}
+					if snap.Version < last[p] {
+						t.Errorf("version went backwards on p%d: %d -> %d", p, last[p], snap.Version)
+					}
+					last[p] = snap.Version
+				}
+				if snap, ok := s.ReadAt(p, 50*simtime.Millisecond); ok && snap.Version > 50 {
+					t.Errorf("ReadAt returned future version %d", snap.Version)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -40,6 +40,12 @@ type Metrics struct {
 	LocalSyncs      int64
 	GlobalSyncs     int64
 	ComputeOps      int64
+
+	// Fully-asynchronous runtime counters (internal/async).
+	AsyncSteps       int64
+	AsyncPublishes   int64
+	AsyncPushedBytes int64
+	AsyncGateWaits   int64
 }
 
 // New constructs a cluster from cfg. The configuration is validated; an
@@ -73,33 +79,41 @@ func (c *Cluster) Metrics() MetricsSnapshot {
 	c.metrics.mu.Lock()
 	defer c.metrics.mu.Unlock()
 	return MetricsSnapshot{
-		MapTasks:        c.metrics.MapTasks,
-		ReduceTasks:     c.metrics.ReduceTasks,
-		TaskFailures:    c.metrics.TaskFailures,
-		ShuffleBytes:    c.metrics.ShuffleBytes,
-		ShuffleRecords:  c.metrics.ShuffleRecords,
-		DFSBytesRead:    c.metrics.DFSBytesRead,
-		DFSBytesWritten: c.metrics.DFSBytesWritten,
-		Jobs:            c.metrics.Jobs,
-		LocalSyncs:      c.metrics.LocalSyncs,
-		GlobalSyncs:     c.metrics.GlobalSyncs,
-		ComputeOps:      c.metrics.ComputeOps,
+		MapTasks:         c.metrics.MapTasks,
+		ReduceTasks:      c.metrics.ReduceTasks,
+		TaskFailures:     c.metrics.TaskFailures,
+		ShuffleBytes:     c.metrics.ShuffleBytes,
+		ShuffleRecords:   c.metrics.ShuffleRecords,
+		DFSBytesRead:     c.metrics.DFSBytesRead,
+		DFSBytesWritten:  c.metrics.DFSBytesWritten,
+		Jobs:             c.metrics.Jobs,
+		LocalSyncs:       c.metrics.LocalSyncs,
+		GlobalSyncs:      c.metrics.GlobalSyncs,
+		ComputeOps:       c.metrics.ComputeOps,
+		AsyncSteps:       c.metrics.AsyncSteps,
+		AsyncPublishes:   c.metrics.AsyncPublishes,
+		AsyncPushedBytes: c.metrics.AsyncPushedBytes,
+		AsyncGateWaits:   c.metrics.AsyncGateWaits,
 	}
 }
 
 // MetricsSnapshot is an immutable copy of Metrics.
 type MetricsSnapshot struct {
-	MapTasks        int64
-	ReduceTasks     int64
-	TaskFailures    int64
-	ShuffleBytes    int64
-	ShuffleRecords  int64
-	DFSBytesRead    int64
-	DFSBytesWritten int64
-	Jobs            int64
-	LocalSyncs      int64
-	GlobalSyncs     int64
-	ComputeOps      int64
+	MapTasks         int64
+	ReduceTasks      int64
+	TaskFailures     int64
+	ShuffleBytes     int64
+	ShuffleRecords   int64
+	DFSBytesRead     int64
+	DFSBytesWritten  int64
+	Jobs             int64
+	LocalSyncs       int64
+	GlobalSyncs      int64
+	ComputeOps       int64
+	AsyncSteps       int64
+	AsyncPublishes   int64
+	AsyncPushedBytes int64
+	AsyncGateWaits   int64
 }
 
 func (m MetricsSnapshot) String() string {
@@ -147,6 +161,16 @@ func (c *Cluster) DFSWriteCost(bytes int64) simtime.Duration {
 	// stream then proceeds at the slowest stage rate.
 	fill := simtime.Duration(c.cfg.DFSReplication) * c.cfg.NetLatency
 	return fill + simtime.Duration(stage)
+}
+
+// AsyncPushCost prices one asynchronous state publication in the
+// fully-asynchronous runtime: shipping n bytes of boundary state to the
+// shared store (one network transfer) plus the fixed per-publication
+// bookkeeping overhead. Readers pull the published version from the
+// store's (replicated, usually node-local) cache, so the push is the
+// only priced transfer — the asynchronous analogue of the shuffle.
+func (c *Cluster) AsyncPushCost(bytes int64) simtime.Duration {
+	return c.cfg.AsyncSyncOverhead + c.TransferCost(bytes)
 }
 
 // DFSReadCost prices reading n bytes; reads hit one (usually local)

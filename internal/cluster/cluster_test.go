@@ -239,3 +239,36 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 	}()
 	New(&Config{})
 }
+
+func TestAsyncPushCost(t *testing.T) {
+	c := New(EC2LargeCluster())
+	// A publish pays the fixed sync overhead plus the transfer.
+	if got := c.AsyncPushCost(0); got != c.Config().AsyncSyncOverhead+c.TransferCost(0) {
+		t.Fatalf("zero-byte push = %v", got)
+	}
+	if c.AsyncPushCost(1<<20) <= c.AsyncPushCost(0) {
+		t.Fatal("push cost not increasing in bytes")
+	}
+	// The async mode's premise: a publication costs far less than a
+	// global job barrier, and more than an in-memory local sync.
+	cfg := c.Config()
+	if cfg.AsyncSyncOverhead >= cfg.JobOverhead/100 {
+		t.Fatalf("async sync %v not << job overhead %v", cfg.AsyncSyncOverhead, cfg.JobOverhead)
+	}
+	if cfg.AsyncSyncOverhead <= cfg.LocalSyncOverhead {
+		t.Fatalf("async sync %v not above local sync %v", cfg.AsyncSyncOverhead, cfg.LocalSyncOverhead)
+	}
+}
+
+func TestAsyncSyncOverheadInPresets(t *testing.T) {
+	for _, cfg := range []*Config{EC2LargeCluster(), CluECluster(), HPCCluster(), SingleNode()} {
+		if cfg.AsyncSyncOverhead <= 0 {
+			t.Errorf("preset %s has no AsyncSyncOverhead", cfg.Name)
+		}
+	}
+	bad := EC2LargeCluster()
+	bad.AsyncSyncOverhead = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative AsyncSyncOverhead not caught")
+	}
+}

@@ -73,6 +73,15 @@ type Config struct {
 	// The paper's premise is LocalSyncOverhead << JobOverhead.
 	LocalSyncOverhead simtime.Duration
 
+	// AsyncSyncOverhead is the fixed bookkeeping cost of one asynchronous
+	// state publication in the fully-asynchronous runtime
+	// (internal/async): an RPC to the shared state store — version stamp,
+	// serialization setup, acknowledgement. It sits between the two
+	// existing synchronization costs, LocalSyncOverhead (an in-memory
+	// barrier) and JobOverhead (a full Hadoop job launch); the async
+	// mode's premise is AsyncSyncOverhead << JobOverhead.
+	AsyncSyncOverhead simtime.Duration
+
 	// CoresPerMapSlot is how many hardware threads one map task can use
 	// for the paper's intra-task local thread pool (§IV: "local map and
 	// local reduce operations can use a thread-pool"). On the Table I
@@ -116,6 +125,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cluster: FailureProb must be in [0,1), got %g", c.FailureProb)
 	case c.CrossRackFraction < 0 || c.CrossRackFraction > 1:
 		return fmt.Errorf("cluster: CrossRackFraction must be in [0,1], got %g", c.CrossRackFraction)
+	case c.AsyncSyncOverhead < 0:
+		return fmt.Errorf("cluster: AsyncSyncOverhead must be non-negative, got %v", c.AsyncSyncOverhead)
 	}
 	return nil
 }
@@ -155,6 +166,7 @@ func EC2LargeCluster() *Config {
 		JobOverhead:        12 * simtime.Second,
 		TaskOverhead:       800 * simtime.Millisecond,
 		LocalSyncOverhead:  20 * simtime.Microsecond,
+		AsyncSyncOverhead:  5 * simtime.Millisecond,
 		CoresPerMapSlot:    2,
 		FailureProb:        0.002,
 		Seed:               1,
@@ -175,6 +187,7 @@ func CluECluster() *Config {
 	c.CrossRackFraction = 0.7
 	c.JobOverhead = 25 * simtime.Second
 	c.TaskOverhead = 1500 * simtime.Millisecond
+	c.AsyncSyncOverhead = 15 * simtime.Millisecond
 	c.FailureProb = 0.006
 	c.StragglerJitter = 0.15
 	return c
@@ -193,6 +206,7 @@ func HPCCluster() *Config {
 	c.DFSReplication = 1
 	c.JobOverhead = 50 * simtime.Millisecond
 	c.TaskOverhead = 2 * simtime.Millisecond
+	c.AsyncSyncOverhead = 50 * simtime.Microsecond
 	c.FailureProb = 0
 	c.StragglerJitter = 0
 	return c

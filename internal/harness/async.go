@@ -1,0 +1,255 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/kmeans"
+	"repro/internal/pagerank"
+	"repro/internal/sssp"
+)
+
+// DefaultStaleness is the staleness bound S the comparison figures use
+// for the async series: loose enough that workers rarely gate, tight
+// enough that convergence stays close to the synchronous fixed point.
+const DefaultStaleness = 4
+
+// asyncCluster builds a fresh simulated cluster for one async run,
+// mirroring Suite.engine for the MapReduce modes.
+func (s *Suite) asyncCluster() *cluster.Cluster {
+	cfg := s.Cluster
+	if cfg == nil {
+		cfg = cluster.EC2LargeCluster()
+	}
+	return cluster.New(cfg)
+}
+
+// modeSweep runs PageRank in all three scheduling modes across the
+// partition sweep. The async "iterations" series reports mean worker
+// steps — the per-partition analogue of a global iteration.
+func (s *Suite) modeSweep(g *graph.Graph) (ks []int, it, tm [3][]float64, err error) {
+	ks = s.PartitionCounts()
+	opt := async.Options{Staleness: s.Staleness()}
+	for _, k := range ks {
+		subs, _, perr := s.partitions(g, k)
+		if perr != nil {
+			return nil, it, tm, perr
+		}
+		rg, rerr := pagerank.Run(s.engine(), subs, pagerank.DefaultConfig(), false)
+		if rerr != nil {
+			return nil, it, tm, rerr
+		}
+		re, rerr := pagerank.Run(s.engine(), subs, pagerank.DefaultConfig(), true)
+		if rerr != nil {
+			return nil, it, tm, rerr
+		}
+		ra, rerr := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
+		if rerr != nil {
+			return nil, it, tm, rerr
+		}
+		it[0] = append(it[0], float64(rg.Stats.GlobalIterations))
+		it[1] = append(it[1], float64(re.Stats.GlobalIterations))
+		it[2] = append(it[2], ra.Stats.MeanSteps)
+		tm[0] = append(tm[0], rg.Stats.Duration.Seconds())
+		tm[1] = append(tm[1], re.Stats.Duration.Seconds())
+		tm[2] = append(tm[2], ra.Stats.Duration.Seconds())
+		s.logf("pagerank k=%d: general %.0fs, eager %.0fs, async(S=%d) %.0fs\n",
+			k, rg.Stats.Duration.Seconds(), re.Stats.Duration.Seconds(),
+			s.Staleness(), ra.Stats.Duration.Seconds())
+	}
+	return ks, it, tm, nil
+}
+
+// Staleness returns the suite's async staleness bound: 0 is lockstep,
+// negative unbounded.
+func (s *Suite) Staleness() int { return s.AsyncStaleness }
+
+// stalenessLabel renders a staleness bound for figure series.
+func stalenessLabel(s int) string {
+	if s < 0 {
+		return "Async(S=inf)"
+	}
+	return fmt.Sprintf("Async(S=%d)", s)
+}
+
+// asyncFigurePair assembles the three-mode iteration/time figures.
+func (s *Suite) asyncFigurePair(graphName string, ks []int, it, tm [3][]float64) (*Figure, *Figure) {
+	asyncLabel := stalenessLabel(s.Staleness())
+	x := intsToFloats(ks)
+	itFig := &Figure{
+		Title:  fmt.Sprintf("Async mode: PageRank iterations vs partitions (%s)", graphName),
+		XLabel: "# Partitions", YLabel: "# Iterations", X: x,
+		Series: []Series{
+			{Label: "General", Y: it[0]}, {Label: "Eager", Y: it[1]}, {Label: asyncLabel, Y: it[2]},
+		},
+	}
+	tFig := &Figure{
+		Title:  fmt.Sprintf("Async mode: PageRank time to converge vs partitions (%s)", graphName),
+		XLabel: "# Partitions", YLabel: "Time (seconds)", X: x,
+		Series: []Series{
+			{Label: "General", Y: tm[0]}, {Label: "Eager", Y: tm[1]}, {Label: asyncLabel, Y: tm[2]},
+		},
+	}
+	return itFig, tFig
+}
+
+// FiguresAsyncA compares all three scheduling modes on Graph A.
+func (s *Suite) FiguresAsyncA() (*Figure, *Figure, error) {
+	ks, it, tm, err := s.modeSweep(s.GraphA())
+	if err != nil {
+		return nil, nil, err
+	}
+	itFig, tFig := s.asyncFigurePair("Graph A", ks, it, tm)
+	return itFig, tFig, nil
+}
+
+// FiguresAsyncB compares all three scheduling modes on Graph B.
+func (s *Suite) FiguresAsyncB() (*Figure, *Figure, error) {
+	ks, it, tm, err := s.modeSweep(s.GraphB())
+	if err != nil {
+		return nil, nil, err
+	}
+	itFig, tFig := s.asyncFigurePair("Graph B", ks, it, tm)
+	return itFig, tFig, nil
+}
+
+// StalenessValues is the staleness sweep axis; -1 renders as unbounded.
+var StalenessValues = []int{0, 1, 2, 4, 8, async.Unbounded}
+
+// StalenessSweep runs async PageRank on Graph A across the staleness
+// axis at a fixed partition count — the new scenario dimension the async
+// mode opens: how much does tolerating stale reads buy, and when does it
+// start costing extra steps?
+func (s *Suite) StalenessSweep() (*Figure, error) {
+	g := s.GraphA()
+	ks := s.PartitionCounts()
+	k := ks[len(ks)/2]
+	subs, _, err := s.partitions(g, k)
+	if err != nil {
+		return nil, err
+	}
+	var times, steps []float64
+	for _, sv := range StalenessValues {
+		res, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), async.Options{Staleness: sv})
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, res.Stats.Duration.Seconds())
+		steps = append(steps, res.Stats.MeanSteps)
+		s.logf("staleness S=%d: %.1fs, %.1f mean steps\n", sv, res.Stats.Duration.Seconds(), res.Stats.MeanSteps)
+	}
+	x := make([]float64, len(StalenessValues))
+	for i, sv := range StalenessValues {
+		x[i] = float64(sv)
+	}
+	return &Figure{
+		Title:  fmt.Sprintf("Staleness sweep: async PageRank on Graph A (%d partitions)", k),
+		XLabel: "Staleness S", YLabel: "Time (s) / mean steps",
+		X: x,
+		XFmt: func(v float64) string {
+			if v < 0 {
+				return "inf"
+			}
+			return fmt.Sprintf("%.0f", v)
+		},
+		Series: []Series{{Label: "Time", Y: times}, {Label: "MeanSteps", Y: steps}},
+	}, nil
+}
+
+// WorkloadRow is one end-to-end workload run in a chosen mode.
+type WorkloadRow struct {
+	Workload   string
+	Mode       string
+	Iterations float64 // global iterations (mean worker steps for async)
+	SimSeconds float64
+	Converged  bool
+}
+
+// RunWorkloads executes PageRank (Graph A), SSSP (Graph A) and K-Means
+// end to end in the chosen scheduling mode — the common
+// iterate-until-converged entry the CLI's -mode flag drives. mode is
+// "general", "eager" or "async"; staleness applies to async only.
+func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) {
+	if mode != "general" && mode != "eager" && mode != "async" {
+		return nil, fmt.Errorf("harness: unknown mode %q (want general, eager or async)", mode)
+	}
+	ks := s.PartitionCounts()
+	k := ks[len(ks)/2]
+	g := s.GraphA()
+	subs, _, err := s.partitions(g, k)
+	if err != nil {
+		return nil, err
+	}
+	opt := async.Options{Staleness: staleness}
+	var rows []WorkloadRow
+
+	switch mode {
+	case "async":
+		pr, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WorkloadRow{"pagerank", mode, pr.Stats.MeanSteps, pr.Stats.Duration.Seconds(), pr.Stats.Converged})
+		sp, err := sssp.RunAsync(s.asyncCluster(), subs, sssp.Config{Source: 0}, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WorkloadRow{"sssp", mode, sp.Stats.MeanSteps, sp.Stats.Duration.Seconds(), sp.Stats.Converged})
+		pts, err := kmeans.GenerateCensus(kmeans.DefaultCensusConfig().Scaled(s.kmeansScale()))
+		if err != nil {
+			return nil, err
+		}
+		km, err := kmeans.RunAsync(s.asyncCluster(), pts, KMeansPartitions, kmeans.DefaultConfig(0.01), opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WorkloadRow{"kmeans", mode, km.Stats.MeanSteps, km.Stats.Duration.Seconds(), km.Stats.Converged})
+	default:
+		eager := mode == "eager"
+		pr, err := pagerank.Run(s.engine(), subs, pagerank.DefaultConfig(), eager)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WorkloadRow{"pagerank", mode, float64(pr.Stats.GlobalIterations), pr.Stats.Duration.Seconds(), pr.Stats.Converged})
+		sp, err := sssp.Run(s.engine(), subs, sssp.Config{Source: 0}, eager)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WorkloadRow{"sssp", mode, float64(sp.Stats.GlobalIterations), sp.Stats.Duration.Seconds(), sp.Stats.Converged})
+		pts, err := kmeans.GenerateCensus(kmeans.DefaultCensusConfig().Scaled(s.kmeansScale()))
+		if err != nil {
+			return nil, err
+		}
+		km, err := kmeans.Run(s.engine(), pts, KMeansPartitions, kmeans.DefaultConfig(0.01), eager)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WorkloadRow{"kmeans", mode, float64(km.Stats.GlobalIterations), km.Stats.Duration.Seconds(), km.Stats.Converged})
+	}
+	return rows, nil
+}
+
+// RenderWorkloadRows writes the RunWorkloads result as an aligned table.
+func RenderWorkloadRows(w io.Writer, rows []WorkloadRow, staleness int) {
+	if len(rows) == 0 {
+		return
+	}
+	title := fmt.Sprintf("End-to-end workloads, mode=%s", rows[0].Mode)
+	if rows[0].Mode == "async" {
+		if staleness < 0 {
+			title += " (staleness=unbounded)"
+		} else {
+			title += fmt.Sprintf(" (staleness=%d)", staleness)
+		}
+	}
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, "--------------------------------------------")
+	fmt.Fprintf(w, "%-12s %14s %14s %10s\n", "workload", "iterations", "sim-seconds", "converged")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %14.1f %14.1f %10v\n", r.Workload, r.Iterations, r.SimSeconds, r.Converged)
+	}
+	fmt.Fprintln(w)
+}

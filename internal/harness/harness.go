@@ -14,10 +14,17 @@
 //	Figure 9  — K-Means time vs threshold                   (Figure9)
 //	§VI       — 460-node scalability remark                 (Scalability)
 //
+// Beyond the paper, the suite compares the repository's third
+// scheduling mode — fully-asynchronous bounded-staleness execution
+// (internal/async) — against the general and eager formulations
+// (FiguresAsyncA/B, StalenessSweep, RunWorkloads).
+//
 // Figures are emitted as aligned text tables plus a log-scale ASCII chart
 // (the original figures are log-log gnuplot charts). A Scale factor
 // shrinks the workloads so the full suite runs in seconds during tests
-// and benches; Scale=1 reproduces paper-size inputs.
+// and benches; Scale=1 reproduces paper-size inputs. See EXPERIMENTS.md
+// for scaling caveats and expected shapes, and DESIGN.md for the design
+// choices the ablation benches pin down.
 package harness
 
 import (

@@ -7,9 +7,14 @@ import (
 )
 
 // suite at heavy scale reduction: full experiment pipeline wiring is
-// under test, not the paper's absolute numbers.
+// under test, not the paper's absolute numbers. The sweep is thinned and
+// the K-Means dataset shrunk so the whole package tests in seconds;
+// benches and the CLI exercise the full axes.
 func testSuite() *Suite {
-	return NewSuite(32)
+	s := NewSuite(64)
+	s.MaxSweepPoints = 4
+	s.KMeansScaleCap = 16
+	return s
 }
 
 func TestPartitionCountsScale(t *testing.T) {
@@ -32,6 +37,21 @@ func TestPartitionCountsScale(t *testing.T) {
 		}
 		if i > 0 && ks[i] <= ks[i-1] {
 			t.Fatalf("counts not strictly increasing: %v", ks)
+		}
+	}
+	// Thinned sweep keeps both ends of the full axis.
+	s = NewSuite(1)
+	s.MaxSweepPoints = 4
+	thin := s.PartitionCounts()
+	if len(thin) != 4 {
+		t.Fatalf("thinned counts %v, want 4 points", thin)
+	}
+	if thin[0] != 100 || thin[len(thin)-1] != 6400 {
+		t.Fatalf("thinned counts %v lost the sweep ends", thin)
+	}
+	for i := 1; i < len(thin); i++ {
+		if thin[i] <= thin[i-1] {
+			t.Fatalf("thinned counts not increasing: %v", thin)
 		}
 	}
 }
@@ -141,6 +161,100 @@ func TestFigures8and9Run(t *testing.T) {
 	}
 	if len(f9.Series[0].Y) != len(KMeansThresholds) {
 		t.Fatal("time series length mismatch")
+	}
+}
+
+func TestFiguresAsyncShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	itFig, tFig, err := s.FiguresAsyncA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(itFig.Series) != 3 || len(tFig.Series) != 3 {
+		t.Fatalf("want three series (general/eager/async), got %d", len(tFig.Series))
+	}
+	genT, eagT, asyT := tFig.Series[0].Y, tFig.Series[1].Y, tFig.Series[2].Y
+	for i := range asyT {
+		// The acceptance bar: async sim-time-to-convergence beats both
+		// synchronous modes at every sweep point (it pays one job launch
+		// total instead of one per global iteration).
+		if asyT[i] >= genT[i] {
+			t.Fatalf("async not faster than general at %d: %v vs %v", i, asyT[i], genT[i])
+		}
+		if asyT[i] >= eagT[i] {
+			t.Fatalf("async not faster than eager at %d: %v vs %v", i, asyT[i], eagT[i])
+		}
+	}
+	// Async does strictly more (stale) iterations than eager's global
+	// count — the "more iterations per second, same quality" trade.
+	asyIt, eagIt := itFig.Series[2].Y, itFig.Series[1].Y
+	sawMore := false
+	for i := range asyIt {
+		if asyIt[i] > eagIt[i] {
+			sawMore = true
+		}
+	}
+	if !sawMore {
+		t.Fatal("async never exceeded eager's iteration count; staleness trade not visible")
+	}
+}
+
+func TestStalenessSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f, err := s.StalenessSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 || len(f.Series[0].Y) != len(StalenessValues) {
+		t.Fatalf("bad sweep shape: %+v", f.Series)
+	}
+	// Looser staleness means more (cheaper) steps: the mean step count
+	// at unbounded staleness must exceed lockstep's.
+	steps := f.Series[1].Y
+	if steps[len(steps)-1] <= steps[0] {
+		t.Fatalf("unbounded staleness did not add steps: %v", steps)
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	for _, mode := range []string{"general", "eager", "async"} {
+		rows, err := s.RunWorkloads(mode, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("%s: %d rows, want 3 workloads", mode, len(rows))
+		}
+		for _, r := range rows {
+			if !r.Converged {
+				t.Errorf("%s/%s did not converge", mode, r.Workload)
+			}
+			if r.SimSeconds <= 0 {
+				t.Errorf("%s/%s zero duration", mode, r.Workload)
+			}
+		}
+	}
+	if _, err := s.RunWorkloads("bogus", 0); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	var buf bytes.Buffer
+	rows, err := s.RunWorkloads("async", -1)
+	if err != nil {
+		t.Fatalf("unbounded async run: %v", err)
+	}
+	RenderWorkloadRows(&buf, rows, -1)
+	if !strings.Contains(buf.String(), "unbounded") {
+		t.Fatalf("render missing unbounded tag:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,252 @@
+package kmeans
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// AsyncResult of a fully-asynchronous K-Means run.
+type AsyncResult struct {
+	// Centroids are the final cluster centers: the fold of every
+	// partition's last published accumulators.
+	Centroids [][]float64
+	// Stats carries the asynchronous run's accounting.
+	Stats *async.RunStats
+	// OscillationStop records whether any worker settled via oscillation
+	// detection rather than the movement threshold.
+	OscillationStop bool
+}
+
+// asyncState is one partition's worker payload in the parameter-server
+// formulation: the partition assigns its own points under its current
+// estimate of the global centroids and publishes per-cluster
+// accumulators; the global centroids are the fold of everyone's latest
+// accumulators, read with bounded staleness.
+type asyncState struct {
+	points [][]float64
+	// accum is the partition's current per-cluster accumulator set
+	// (what it last computed; published on change).
+	accum []Accum
+	// centroids is the partition's current estimate of the global
+	// centers; empty clusters keep their previous center.
+	centroids [][]float64
+	// history drives oscillation detection, as in the synchronous modes.
+	history    []float64
+	oscillated bool
+}
+
+// asyncWorkload implements async.Workload for K-Means. Every partition
+// reads every other (the centroid fold is global), so Neighbors is
+// all-to-all — the dense-dependency extreme of the async runtime.
+type asyncWorkload struct {
+	cfg    Config
+	dims   int
+	states []*asyncState
+	// allOthers[p] caches the neighbor lists.
+	allOthers [][]int
+}
+
+func (w *asyncWorkload) Parts() int            { return len(w.states) }
+func (w *asyncWorkload) Neighbors(p int) []int { return w.allOthers[p] }
+
+func (w *asyncWorkload) Init(p int) ([]Accum, int64) {
+	st := w.states[p]
+	// Version 0 is an empty accumulator set: the first fold leaves every
+	// worker at exactly the shared initial centroids.
+	empty := make([]Accum, w.cfg.K)
+	return empty, int64(len(st.points) * w.dims * 8)
+}
+
+func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]Accum]) async.StepOutcome[[]Accum] {
+	st := w.states[p]
+	cfg := w.cfg
+	dims := w.dims
+	var ops int64
+
+	// Fold neighbor accumulators with this partition's own into the
+	// global centroid estimate; empty clusters keep their last center.
+	next := cloneCentroids(st.centroids)
+	for c := 0; c < cfg.K; c++ {
+		sum := make([]float64, dims)
+		var count int64
+		add := func(a Accum) {
+			for d, x := range a.Sum {
+				sum[d] += x
+			}
+			count += a.Count
+		}
+		for _, in := range inputs {
+			add(in.Data[c])
+		}
+		add(st.accum[c])
+		if count > 0 {
+			for d := 0; d < dims; d++ {
+				next[c][d] = sum[d] / float64(count)
+			}
+		}
+	}
+	ops += int64(cfg.K * dims * (len(inputs) + 2))
+
+	movement := 0.0
+	for c := range next {
+		if m := centroidMovement(next[c], st.centroids[c]); m > movement {
+			movement = m
+		}
+	}
+	st.centroids = next
+
+	// Assign this partition's points under the new estimate.
+	newAccum := make([]Accum, cfg.K)
+	for c := range newAccum {
+		newAccum[c].Sum = make([]float64, dims)
+	}
+	for _, pt := range st.points {
+		c := nearest(st.centroids, pt)
+		for d, x := range pt {
+			newAccum[c].Sum[d] += x
+		}
+		newAccum[c].Count++
+	}
+	ops += int64(len(st.points) * cfg.K * dims)
+
+	changed := accumsDiffer(st.accum, newAccum)
+	st.accum = newAccum
+
+	quiescent := movement < cfg.Threshold
+	if !quiescent && cfg.OscillationWindow > 1 {
+		st.history = append(st.history, movement)
+		if oscillating(st.history, cfg.OscillationWindow) {
+			// The movement series ping-pongs or plateaued: stop chasing
+			// partition noise, as the synchronous modes do.
+			quiescent = true
+			st.oscillated = true
+			changed = false
+		}
+	}
+
+	out := async.StepOutcome[[]Accum]{
+		Ops:        ops,
+		LocalIters: 1,
+		Quiescent:  quiescent,
+	}
+	if changed {
+		out.Publish = true
+		out.Data = cloneAccums(newAccum)
+		out.Bytes = int64(cfg.K) * (16 + 8*int64(dims))
+	}
+	return out
+}
+
+// RunAsync clusters points into cfg.K clusters over numParts partitions
+// in the fully-asynchronous bounded-staleness mode. Unlike the eager
+// formulation there is no periodic reshuffle: partitions are fixed for
+// the whole run, and the oscillation detector alone guards against
+// partition-induced ping-pong.
+func RunAsync(c *cluster.Cluster, points [][]float64, numParts int, cfg Config, opt async.Options) (*AsyncResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if numParts < 1 {
+		return nil, fmt.Errorf("kmeans: numParts must be >= 1, got %d", numParts)
+	}
+	if numParts > len(points) {
+		numParts = len(points)
+	}
+	dims := len(points[0])
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), dims)
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	// Initial centroids and partitioning match the synchronous modes:
+	// random distinct points, contiguous chunks of a permutation.
+	centroids := make([][]float64, cfg.K)
+	for c := range centroids {
+		centroids[c] = append([]float64(nil), points[rng.Intn(len(points))]...)
+	}
+	perm := rng.Perm(len(points))
+	states := make([]*asyncState, numParts)
+	allOthers := make([][]int, numParts)
+	for i := range states {
+		lo, hi := i*len(points)/numParts, (i+1)*len(points)/numParts
+		st := &asyncState{centroids: cloneCentroids(centroids)}
+		for _, pi := range perm[lo:hi] {
+			st.points = append(st.points, points[pi])
+		}
+		st.accum = make([]Accum, cfg.K)
+		for c := range st.accum {
+			st.accum[c].Sum = make([]float64, dims)
+		}
+		states[i] = st
+		for q := 0; q < numParts; q++ {
+			if q != i {
+				allOthers[i] = append(allOthers[i], q)
+			}
+		}
+	}
+
+	w := &asyncWorkload{cfg: cfg, dims: dims, states: states, allOthers: allOthers}
+	runStats, err := async.Run(c, w, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Final centers: fold every partition's final accumulators; empty
+	// clusters keep the first partition's last estimate.
+	final := cloneCentroids(states[0].centroids)
+	for c := 0; c < cfg.K; c++ {
+		sum := make([]float64, dims)
+		var count int64
+		for _, st := range states {
+			for d, x := range st.accum[c].Sum {
+				sum[d] += x
+			}
+			count += st.accum[c].Count
+		}
+		if count > 0 {
+			for d := 0; d < dims; d++ {
+				final[c][d] = sum[d] / float64(count)
+			}
+		}
+	}
+	res := &AsyncResult{Centroids: final, Stats: runStats}
+	for _, st := range states {
+		if st.oscillated {
+			res.OscillationStop = true
+		}
+	}
+	return res, nil
+}
+
+// accumsDiffer reports whether two accumulator sets represent different
+// assignments. Counts and sums are compared exactly: identical
+// membership reproduces identical sums (fixed point order).
+func accumsDiffer(a, b []Accum) bool {
+	for c := range a {
+		if a[c].Count != b[c].Count {
+			return true
+		}
+		for d := range a[c].Sum {
+			if a[c].Sum[d] != b[c].Sum[d] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cloneAccums(as []Accum) []Accum {
+	out := make([]Accum, len(as))
+	for i, a := range as {
+		out[i] = Accum{Sum: append([]float64(nil), a.Sum...), Count: a.Count}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+)
+
+func asyncCluster() *cluster.Cluster {
+	cfg := cluster.EC2LargeCluster()
+	cfg.FailureProb = 0
+	cfg.StragglerJitter = 0
+	return cluster.New(cfg)
+}
+
+func TestAsyncConvergesAndClusters(t *testing.T) {
+	pts := smallCensus(t)
+	cfg := DefaultConfig(0.01)
+	res, err := RunAsync(asyncCluster(), pts, 13, cfg, async.Options{Staleness: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("async did not converge")
+	}
+	if len(res.Centroids) != cfg.K {
+		t.Fatalf("centroids %d, want %d", len(res.Centroids), cfg.K)
+	}
+	for c, cen := range res.Centroids {
+		for d, v := range cen {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("centroid %d dim %d is %g", c, d, v)
+			}
+		}
+	}
+	// Clustering must beat the trivial single-centroid solution clearly.
+	mean := make([]float64, len(pts[0]))
+	for _, p := range pts {
+		for d, v := range p {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(len(pts))
+	}
+	if got, trivial := sse(pts, res.Centroids), sse(pts, [][]float64{mean}); got > trivial*0.6 {
+		t.Fatalf("clustering quality poor: sse %g vs trivial %g", got, trivial)
+	}
+}
+
+func TestAsyncStalenessBoundHolds(t *testing.T) {
+	pts := smallCensus(t)
+	for _, s := range []int{0, 3} {
+		res, err := RunAsync(asyncCluster(), pts, 9, DefaultConfig(0.01), async.Options{Staleness: s})
+		if err != nil {
+			t.Fatalf("S=%d: %v", s, err)
+		}
+		if res.Stats.MaxLead > s {
+			t.Fatalf("S=%d: staleness bound violated, lead %d", s, res.Stats.MaxLead)
+		}
+	}
+}
+
+func TestAsyncDeterministicReplay(t *testing.T) {
+	pts := smallCensus(t)
+	run := func() *AsyncResult {
+		res, err := RunAsync(asyncCluster(), pts, 9, DefaultConfig(0.01), async.Options{Staleness: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Stats.Steps != b.Stats.Steps || a.Stats.Duration != b.Stats.Duration {
+		t.Fatalf("replay diverged: %d/%v vs %d/%v",
+			a.Stats.Steps, a.Stats.Duration, b.Stats.Steps, b.Stats.Duration)
+	}
+	for c := range a.Centroids {
+		for d := range a.Centroids[c] {
+			if a.Centroids[c][d] != b.Centroids[c][d] {
+				t.Fatalf("centroid %d dim %d diverged", c, d)
+			}
+		}
+	}
+}
+
+func TestAsyncFasterThanGeneral(t *testing.T) {
+	pts := smallCensus(t)
+	gen, err := Run(engine(), pts, 13, DefaultConfig(0.01), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAsync(asyncCluster(), pts, 13, DefaultConfig(0.01), async.Options{Staleness: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Duration >= gen.Stats.Duration {
+		t.Fatalf("async %v not faster than general %v", res.Stats.Duration, gen.Stats.Duration)
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	if _, err := RunAsync(asyncCluster(), nil, 4, DefaultConfig(0.01), async.Options{}); err == nil {
+		t.Fatal("no points accepted")
+	}
+	pts := smallCensus(t)
+	if _, err := RunAsync(asyncCluster(), pts, 0, DefaultConfig(0.01), async.Options{}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	bad := DefaultConfig(0.01)
+	bad.K = 0
+	if _, err := RunAsync(asyncCluster(), pts, 4, bad, async.Options{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// publishFraction scales the publication threshold relative to Epsilon:
+// a partition republishes its boundary contributions only when one moved
+// by more than Epsilon*publishFraction. Sub-threshold noise otherwise
+// cascades wakeups around cross-partition cycles forever; damping
+// guarantees the suppressed residual stays below Epsilon at the fixed
+// point (see DESIGN.md).
+const publishFraction = 0.1
+
+// AsyncResult of a fully-asynchronous PageRank run.
+type AsyncResult struct {
+	// Ranks[u] is the converged PageRank of node u.
+	Ranks []float64
+	// Stats carries the asynchronous run's accounting.
+	Stats *async.RunStats
+}
+
+// asyncState is one partition's worker payload: a dense local Jacobi
+// solver plus the bookkeeping to read neighbor boundary contributions
+// from versioned snapshots.
+type asyncState struct {
+	sub *graph.SubGraph
+	// rank, ghost, scratch, acc mirror the eager formulation's arrays.
+	rank    []float64
+	ghost   []float64
+	scratch []float64
+	acc     []float64
+	// border lists the local indices of nodes with cross-partition
+	// out-edges; their contributions (rank/outdeg) are what the
+	// partition publishes.
+	border []int32
+	// lastPub is the last published contribution vector (parallel to
+	// border), for change detection.
+	lastPub []float64
+	// ghostSlot/ghostIdx/ghostNode flatten the reads: ghost contribution
+	// r adds inputs[ghostSlot[r]].Data[ghostIdx[r]] to node ghostNode[r].
+	ghostSlot []int32
+	ghostIdx  []int32
+	ghostNode []int32
+	neighbors []int
+}
+
+// asyncWorkload implements async.Workload for PageRank. The published
+// data is the partition's boundary contribution vector.
+type asyncWorkload struct {
+	cfg    Config
+	states []*asyncState
+}
+
+func (w *asyncWorkload) Parts() int            { return len(w.states) }
+func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
+
+func (w *asyncWorkload) Init(p int) ([]float64, int64) {
+	st := w.states[p]
+	return append([]float64(nil), st.lastPub...), st.sub.Bytes
+}
+
+func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]float64]) async.StepOutcome[[]float64] {
+	st := w.states[p]
+	cfg := w.cfg
+	var ops int64
+
+	// Integrate neighbor snapshots into the ghost contributions.
+	for i := range st.ghost {
+		st.ghost[i] = 0
+	}
+	for r := range st.ghostNode {
+		st.ghost[st.ghostNode[r]] += inputs[st.ghostSlot[r]].Data[st.ghostIdx[r]]
+	}
+	ops += int64(len(st.ghostNode))
+
+	// Local Jacobi sweeps to local convergence against frozen ghosts,
+	// the same inner loop the eager gmap runs between global barriers.
+	sub := st.sub
+	base := 1 - cfg.Damping
+	startDelta := 0.0
+	sweeps := 0
+	maxSweeps := cfg.MaxLocalIters
+	if maxSweeps <= 0 {
+		maxSweeps = async.DefaultMaxSteps
+	}
+	for sweeps < maxSweeps {
+		for i := range st.acc {
+			st.acc[i] = 0
+		}
+		for li := range sub.Nodes {
+			deg := sub.OutDeg[li]
+			if deg == 0 {
+				continue
+			}
+			c := st.rank[li] / float64(deg)
+			for _, dst := range sub.OutLocal[li] {
+				st.acc[dst] += c
+			}
+			ops += int64(len(sub.OutLocal[li]))
+		}
+		delta := 0.0
+		for i := range sub.Nodes {
+			nr := base + cfg.Damping*(st.acc[i]+st.ghost[i])
+			d := nr - st.rank[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > delta {
+				delta = d
+			}
+			st.scratch[i] = nr
+		}
+		ops += int64(len(sub.Nodes)) * 2
+		copy(st.rank, st.scratch)
+		sweeps++
+		if delta > startDelta {
+			startDelta = delta
+		}
+		if delta < cfg.LocalEpsilon {
+			break
+		}
+	}
+
+	// Publish boundary contributions only on material change.
+	pubEps := cfg.Epsilon * publishFraction
+	changed := false
+	for bi, li := range st.border {
+		c := st.rank[li] / float64(st.sub.OutDeg[li])
+		d := c - st.lastPub[bi]
+		if d < 0 {
+			d = -d
+		}
+		if d > pubEps {
+			changed = true
+		}
+		st.scratch[li] = c // reuse scratch as the candidate publication
+	}
+	out := async.StepOutcome[[]float64]{
+		Ops:        ops,
+		LocalIters: int64(sweeps),
+		Quiescent:  startDelta < cfg.Epsilon,
+	}
+	if changed {
+		pub := make([]float64, len(st.border))
+		for bi, li := range st.border {
+			pub[bi] = st.scratch[li]
+		}
+		copy(st.lastPub, pub)
+		out.Publish = true
+		out.Data = pub
+		out.Bytes = 16 + 8*int64(len(pub))
+	}
+	return out
+}
+
+// RunAsync executes PageRank in the fully-asynchronous bounded-staleness
+// mode over the given sub-graphs.
+func RunAsync(c *cluster.Cluster, subs []*graph.SubGraph, cfg Config, opt async.Options) (*AsyncResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("pagerank: no partitions")
+	}
+	w, n, err := buildAsyncWorkload(subs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := async.Run(c, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]float64, n)
+	for _, st := range w.states {
+		for li, u := range st.sub.Nodes {
+			ranks[u] = st.rank[li]
+		}
+	}
+	return &AsyncResult{Ranks: ranks, Stats: stats}, nil
+}
+
+// buildAsyncWorkload precomputes the boundary exchange plan: who
+// publishes which contributions and who reads them.
+func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int, error) {
+	n := 0
+	owner := map[graph.NodeID]int{}
+	for p, s := range subs {
+		n += s.NumNodes()
+		for _, u := range s.Nodes {
+			owner[u] = p
+		}
+	}
+	// Border lists and global-id -> border-index maps, per partition.
+	borderIdx := make([]map[graph.NodeID]int32, len(subs))
+	states := make([]*asyncState, len(subs))
+	for p, s := range subs {
+		m := s.NumNodes()
+		st := &asyncState{
+			sub:     s,
+			rank:    make([]float64, m),
+			ghost:   make([]float64, m),
+			scratch: make([]float64, m),
+			acc:     make([]float64, m),
+		}
+		borderIdx[p] = map[graph.NodeID]int32{}
+		for li := range s.Nodes {
+			st.rank[li] = 1 // all nodes start with rank 1 (§V-B)
+			if len(s.OutRemote[li]) > 0 {
+				borderIdx[p][s.Nodes[li]] = int32(len(st.border))
+				st.border = append(st.border, int32(li))
+			}
+		}
+		st.lastPub = make([]float64, len(st.border))
+		for bi, li := range st.border {
+			st.lastPub[bi] = 1 / float64(s.OutDeg[li])
+		}
+		states[p] = st
+	}
+	// Read plans: for each partition, the neighbor slot and border index
+	// of every cross-partition in-edge source.
+	for p, s := range subs {
+		st := states[p]
+		slotOf := map[int]int32{}
+		for li := range s.Nodes {
+			for _, src := range s.InRemote[li] {
+				q, ok := owner[src]
+				if !ok {
+					return nil, 0, fmt.Errorf("pagerank: remote source %d has no owner", src)
+				}
+				slot, ok := slotOf[q]
+				if !ok {
+					slot = int32(len(st.neighbors))
+					slotOf[q] = slot
+					st.neighbors = append(st.neighbors, q)
+				}
+				bi, ok := borderIdx[q][src]
+				if !ok {
+					return nil, 0, fmt.Errorf("pagerank: source %d not on partition %d's border", src, q)
+				}
+				st.ghostSlot = append(st.ghostSlot, slot)
+				st.ghostIdx = append(st.ghostIdx, bi)
+				st.ghostNode = append(st.ghostNode, int32(li))
+			}
+		}
+	}
+	return &asyncWorkload{cfg: cfg, states: states}, n, nil
+}

@@ -1,0 +1,122 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+)
+
+func asyncCluster() *cluster.Cluster {
+	cfg := cluster.EC2LargeCluster()
+	cfg.FailureProb = 0
+	cfg.StragglerJitter = 0
+	return cluster.New(cfg)
+}
+
+func TestAsyncMatchesReference(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	res, err := RunAsync(asyncCluster(), subs, DefaultConfig(), async.Options{Staleness: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("async did not converge")
+	}
+	want := referenceRanks(g, 0.85, 1e-5)
+	for u := range want {
+		if d := math.Abs(res.Ranks[u] - want[u]); d > 1e-3 {
+			t.Fatalf("node %d rank %g vs reference %g", u, res.Ranks[u], want[u])
+		}
+	}
+}
+
+func TestAsyncStalenessSweepConverges(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	want := referenceRanks(g, 0.85, 1e-5)
+	for _, s := range []int{0, 1, 8, async.Unbounded} {
+		res, err := RunAsync(asyncCluster(), subs, DefaultConfig(), async.Options{Staleness: s})
+		if err != nil {
+			t.Fatalf("S=%d: %v", s, err)
+		}
+		if !res.Stats.Converged {
+			t.Fatalf("S=%d: not converged", s)
+		}
+		if s >= 0 && res.Stats.MaxLead > s {
+			t.Fatalf("S=%d: staleness bound violated, lead %d", s, res.Stats.MaxLead)
+		}
+		for u := range want {
+			if d := math.Abs(res.Ranks[u] - want[u]); d > 1e-3 {
+				t.Fatalf("S=%d: node %d rank %g vs reference %g", s, u, res.Ranks[u], want[u])
+			}
+		}
+	}
+}
+
+// TestAsyncZeroStalenessDeterministic: S=0 is the lockstep degeneration;
+// replays must be bit-identical and agree with the eager fixed point.
+func TestAsyncZeroStalenessDeterministic(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	run := func() *AsyncResult {
+		res, err := RunAsync(asyncCluster(), subs, DefaultConfig(), async.Options{Staleness: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Stats.Duration != b.Stats.Duration || a.Stats.Steps != b.Stats.Steps {
+		t.Fatalf("replay diverged: %v/%d vs %v/%d",
+			a.Stats.Duration, a.Stats.Steps, b.Stats.Duration, b.Stats.Steps)
+	}
+	for u := range a.Ranks {
+		if a.Ranks[u] != b.Ranks[u] {
+			t.Fatalf("replay rank of %d diverged: %g vs %g", u, a.Ranks[u], b.Ranks[u])
+		}
+	}
+	eag, err := Run(engine(), subs, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range eag.Ranks {
+		if d := math.Abs(a.Ranks[u] - eag.Ranks[u]); d > 1e-3 {
+			t.Fatalf("node %d: async(S=0) %g vs eager %g", u, a.Ranks[u], eag.Ranks[u])
+		}
+	}
+}
+
+// TestAsyncFasterThanEager: the headline claim — removing the global
+// barrier beats even the partial-synchronization formulation in
+// simulated time on the cloud cluster.
+func TestAsyncFasterThanEager(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	eag, err := Run(engine(), subs, DefaultConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAsync(asyncCluster(), subs, DefaultConfig(), async.Options{Staleness: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Duration >= eag.Stats.Duration {
+		t.Fatalf("async %v not faster than eager %v", res.Stats.Duration, eag.Stats.Duration)
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	if _, err := RunAsync(asyncCluster(), nil, DefaultConfig(), async.Options{}); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+	bad := DefaultConfig()
+	bad.Damping = 2
+	g := smallGraph()
+	subs := subgraphs(t, g, 2)
+	if _, err := RunAsync(asyncCluster(), subs, bad, async.Options{}); err == nil {
+		t.Fatal("bad damping accepted")
+	}
+}

@@ -1,0 +1,233 @@
+package sssp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// AsyncResult of a fully-asynchronous SSSP run.
+type AsyncResult struct {
+	// Dist[u] is the shortest distance from the source to u
+	// (+Inf if unreachable). Distance relaxation is monotone, so the
+	// asynchronous mode converges to the exact answer at any staleness.
+	Dist []float64
+	// Stats carries the asynchronous run's accounting.
+	Stats *async.RunStats
+}
+
+// asyncState is one partition's worker payload: a local label-correcting
+// solver plus the plan for reading neighbor border distances.
+type asyncState struct {
+	sub    *graph.SubGraph
+	dist   []float64
+	active []bool
+	// border lists local indices of nodes with cross-partition
+	// out-edges; the partition publishes their distances.
+	border  []int32
+	lastPub []float64
+	// Cross in-edge read plan: candidate r relaxes node ghostNode[r]
+	// with inputs[ghostSlot[r]].Data[ghostIdx[r]] + ghostW[r].
+	ghostSlot []int32
+	ghostIdx  []int32
+	ghostNode []int32
+	ghostW    []float64
+	neighbors []int
+}
+
+// asyncWorkload implements async.Workload for SSSP; the published data
+// is the partition's border distance vector.
+type asyncWorkload struct {
+	cfg    Config
+	states []*asyncState
+}
+
+func (w *asyncWorkload) Parts() int            { return len(w.states) }
+func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
+
+func (w *asyncWorkload) Init(p int) ([]float64, int64) {
+	st := w.states[p]
+	return append([]float64(nil), st.lastPub...), st.sub.Bytes
+}
+
+func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]float64]) async.StepOutcome[[]float64] {
+	st := w.states[p]
+	sub := st.sub
+	var ops int64
+
+	// Relax cross-partition in-edges from the snapshots; improvements
+	// seed the local frontier.
+	for r := range st.ghostNode {
+		cand := inputs[st.ghostSlot[r]].Data[st.ghostIdx[r]] + st.ghostW[r]
+		li := st.ghostNode[r]
+		if cand < st.dist[li] {
+			st.dist[li] = cand
+			st.active[li] = true
+		}
+	}
+	ops += int64(len(st.ghostNode))
+
+	// Local Bellman-Ford over the active frontier until it drains (or
+	// the sweep cap leaves residual work for the next step).
+	sweeps := 0
+	maxSweeps := w.cfg.MaxLocalIters
+	if maxSweeps <= 0 {
+		maxSweeps = async.DefaultMaxSteps
+	}
+	frontierLeft := false
+	for sweeps < maxSweeps {
+		var next []int32
+		for li := range st.active {
+			if !st.active[li] {
+				continue
+			}
+			st.active[li] = false
+			d := st.dist[li]
+			for ei, dst := range sub.OutLocal[li] {
+				if nd := d + sub.WLocal[li][ei]; nd < st.dist[dst] {
+					st.dist[dst] = nd
+					next = append(next, dst)
+				}
+			}
+			ops += int64(len(sub.OutLocal[li]))
+		}
+		sweeps++
+		if len(next) == 0 {
+			break
+		}
+		for _, li := range next {
+			st.active[li] = true
+		}
+	}
+	for li := range st.active {
+		if st.active[li] {
+			frontierLeft = true
+			break
+		}
+	}
+
+	// Publish border distances that improved; monotonicity means any
+	// change is material and the stream of publications is finite.
+	changed := false
+	for bi, li := range st.border {
+		if st.dist[li] < st.lastPub[bi] {
+			changed = true
+			break
+		}
+	}
+	out := async.StepOutcome[[]float64]{
+		Ops:        ops,
+		LocalIters: int64(sweeps),
+		Quiescent:  !frontierLeft,
+	}
+	if changed {
+		pub := make([]float64, len(st.border))
+		for bi, li := range st.border {
+			pub[bi] = st.dist[li]
+		}
+		copy(st.lastPub, pub)
+		out.Publish = true
+		out.Data = pub
+		out.Bytes = 16 + 8*int64(len(pub))
+	}
+	return out
+}
+
+// RunAsync executes SSSP in the fully-asynchronous bounded-staleness
+// mode over the given weighted sub-graphs.
+func RunAsync(c *cluster.Cluster, subs []*graph.SubGraph, cfg Config, opt async.Options) (*AsyncResult, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("sssp: no partitions")
+	}
+	if subs[0].WLocal == nil {
+		return nil, fmt.Errorf("sssp: sub-graphs are unweighted; call Graph.AssignUniformWeights first")
+	}
+	n := 0
+	for _, s := range subs {
+		n += s.NumNodes()
+	}
+	if cfg.Source < 0 || int(cfg.Source) >= n {
+		return nil, fmt.Errorf("sssp: source %d outside [0,%d)", cfg.Source, n)
+	}
+	w, err := buildAsyncWorkload(subs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := async.Run(c, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]float64, n)
+	for _, st := range w.states {
+		for li, u := range st.sub.Nodes {
+			dist[u] = st.dist[li]
+		}
+	}
+	return &AsyncResult{Dist: dist, Stats: stats}, nil
+}
+
+// buildAsyncWorkload precomputes border lists and cross-edge read plans.
+func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, error) {
+	owner := map[graph.NodeID]int{}
+	for p, s := range subs {
+		for _, u := range s.Nodes {
+			owner[u] = p
+		}
+	}
+	borderIdx := make([]map[graph.NodeID]int32, len(subs))
+	states := make([]*asyncState, len(subs))
+	for p, s := range subs {
+		st := &asyncState{
+			sub:    s,
+			dist:   make([]float64, s.NumNodes()),
+			active: make([]bool, s.NumNodes()),
+		}
+		borderIdx[p] = map[graph.NodeID]int32{}
+		for li, u := range s.Nodes {
+			st.dist[li] = math.Inf(1)
+			if u == cfg.Source {
+				st.dist[li] = 0
+				st.active[li] = true
+			}
+			if len(s.OutRemote[li]) > 0 {
+				borderIdx[p][u] = int32(len(st.border))
+				st.border = append(st.border, int32(li))
+			}
+		}
+		st.lastPub = make([]float64, len(st.border))
+		for bi, li := range st.border {
+			st.lastPub[bi] = st.dist[li]
+		}
+		states[p] = st
+	}
+	for p, s := range subs {
+		st := states[p]
+		slotOf := map[int]int32{}
+		for li := range s.Nodes {
+			for ei, src := range s.InRemote[li] {
+				q, ok := owner[src]
+				if !ok {
+					return nil, fmt.Errorf("sssp: remote source %d has no owner", src)
+				}
+				slot, ok := slotOf[q]
+				if !ok {
+					slot = int32(len(st.neighbors))
+					slotOf[q] = slot
+					st.neighbors = append(st.neighbors, q)
+				}
+				bi, ok := borderIdx[q][src]
+				if !ok {
+					return nil, fmt.Errorf("sssp: source %d not on partition %d's border", src, q)
+				}
+				st.ghostSlot = append(st.ghostSlot, slot)
+				st.ghostIdx = append(st.ghostIdx, bi)
+				st.ghostNode = append(st.ghostNode, int32(li))
+				st.ghostW = append(st.ghostW, s.InRemoteW[li][ei])
+			}
+		}
+	}
+	return &asyncWorkload{cfg: cfg, states: states}, nil
+}
