@@ -484,6 +484,68 @@ func BenchmarkAsyncStaleness(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncParallel measures real wall-clock scaling of the
+// parallel executor against the sequential DES on the same workloads
+// (run with -cpu 1,4 to see the GOMAXPROCS effect). Simulated results
+// are identical by construction — parity is asserted — so ns/op isolates
+// executor throughput; speculated-frac reports how many steps the
+// conservative lookahead managed to pre-execute.
+func BenchmarkAsyncParallel(b *testing.B) {
+	const parallelScale = 4 // heavier per-step compute than benchScale
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(parallelScale))
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, err := kmeans.GenerateCensus(kmeans.DefaultCensusConfig().Scaled(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Parity baselines shared across the executor sub-benchmarks: the
+	// DES rows run first and every later run — either executor, any
+	// GOMAXPROCS — must reproduce their virtual-time results exactly.
+	var basePR, baseKM *async.RunStats
+	for _, ex := range []async.Executor{async.DES, async.Parallel} {
+		opt := async.Options{Staleness: harness.DefaultStaleness, Executor: ex}
+		b.Run("pagerank/"+ex.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs,
+					pagerank.DefaultConfig(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if basePR == nil {
+					basePR = res.Stats
+				} else if res.Stats.Duration != basePR.Duration || res.Stats.Steps != basePR.Steps {
+					b.Fatalf("%v diverged from DES baseline: %v/%d vs %v/%d",
+						ex, res.Stats.Duration, res.Stats.Steps, basePR.Duration, basePR.Steps)
+				}
+				b.ReportMetric(float64(res.Stats.Speculated)/float64(res.Stats.Steps), "speculated-frac")
+			}
+		})
+		b.Run("kmeans/"+ex.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := kmeans.RunAsync(cluster.New(cluster.EC2LargeCluster()), pts, 13,
+					kmeans.DefaultConfig(0.01), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if baseKM == nil {
+					baseKM = res.Stats
+				} else if res.Stats.Duration != baseKM.Duration || res.Stats.Steps != baseKM.Steps {
+					b.Fatalf("%v diverged from DES baseline: %v/%d vs %v/%d",
+						ex, res.Stats.Duration, res.Stats.Steps, baseKM.Duration, baseKM.Steps)
+				}
+				b.ReportMetric(float64(res.Stats.Speculated)/float64(res.Stats.Steps), "speculated-frac")
+			}
+		})
+	}
+}
+
 // BenchmarkAsyncSSSP measures the async mode on the monotone workload,
 // where any staleness still yields exact distances.
 func BenchmarkAsyncSSSP(b *testing.B) {

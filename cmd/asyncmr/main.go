@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	asyncmr [-scale N] [-v] [-mode M] [-staleness S] <experiment>
+//	asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] <experiment>
 //
 // Experiments:
 //
@@ -16,9 +16,21 @@
 //	scale              §VI 460-node scalability remark
 //	asyncA asyncB      three-mode comparison figures (Graphs A, B)
 //	staleness          async staleness sweep (new scenario axis)
+//	stalenessx         the staleness sweep on the cross-rack cluster
+//	                   (CrossRackFraction 0.5); at -scale 1 this is the
+//	                   paper-scale figure where gate waits and push
+//	                   traffic are material
+//	parallel           wall-clock cores-scaling figure: async PageRank
+//	                   under the parallel executor at 1..8 goroutines vs
+//	                   the sequential DES (identical virtual-time results)
 //	run                run PageRank, SSSP and K-Means end to end in the
 //	                   mode selected by -mode/-staleness
 //	all                everything above except run
+//
+// -parallel runs every async-mode experiment on the wall-clock-parallel
+// executor (-workers caps its goroutines); simulated results are
+// identical to the default sequential DES, only real elapsed time
+// changes.
 //
 // With -scale 1 the workloads match the paper's sizes (280K/100K-node
 // graphs, 200K census points); the default scale 8 runs the whole suite
@@ -40,9 +52,13 @@ func main() {
 	mode := flag.String("mode", "general", "scheduling mode for 'run': general, eager or async")
 	staleness := flag.Int("staleness", harness.DefaultStaleness,
 		"staleness bound S for async mode; negative = unbounded free-running")
+	parallel := flag.Bool("parallel", false,
+		"execute async runs on the wall-clock-parallel executor (identical simulated results)")
+	workers := flag.Int("workers", 0,
+		"goroutine cap for the parallel executor; 0 = GOMAXPROCS")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness run all\n")
+		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx parallel run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,6 +75,10 @@ func main() {
 	} else {
 		s.AsyncStaleness = *staleness
 	}
+	if *parallel {
+		s.AsyncExecutor = async.Parallel
+	}
+	s.AsyncWorkers = *workers
 
 	if err := run(s, flag.Arg(0), *mode); err != nil {
 		fmt.Fprintf(os.Stderr, "asyncmr: %v\n", err)
@@ -129,6 +149,18 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		f.Render(out)
+	case "stalenessx":
+		f, err := s.StalenessSweepCrossRack()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
+	case "parallel":
+		f, err := s.FigureParallelScaling()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
 	case "run":
 		rows, err := s.RunWorkloads(mode, s.AsyncStaleness)
 		if err != nil {
@@ -175,6 +207,16 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		fst.Render(out)
+		fsx, err := s.StalenessSweepCrossRack()
+		if err != nil {
+			return err
+		}
+		fsx.Render(out)
+		fp, err := s.FigureParallelScaling()
+		if err != nil {
+			return err
+		}
+		fp.Render(out)
 		fs, err := s.Scalability()
 		if err != nil {
 			return err

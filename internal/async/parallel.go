@@ -1,0 +1,214 @@
+package async
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// parallelScheduler is the wall-clock-parallel executor: it drives the
+// same sequential phase loop as the DES (so virtual-time ordering,
+// stochastic draws, and all bookkeeping stay identical), but pre-executes
+// Workload.Step calls on a pool of real goroutines whenever conservative
+// lookahead proves them independent.
+//
+// The lookahead rule: let E be the earliest pending event time and L the
+// cluster's AsyncPublishFloor (a lower bound on the virtual latency of
+// any state publication). Every publication produced from now on comes
+// from an event at time >= E and becomes visible at >= E + L. Therefore
+// the snapshots visible at any time t < E + L are already final, and a
+// pending step at such a t may execute early — concurrently with other
+// admitted steps — provided its staleness gate is certain to pass.
+//
+// The gate is certain to pass when every neighbor's version visible at t
+// already covers the worker's staleness requirement, *ignoring* the
+// idle/settled exemptions: visible versions at a fixed t never change
+// (new publishes land later than t), while the exemptions can flip as
+// in-window events wake idle workers. Steps that rely on an exemption
+// simply fall back to inline execution.
+//
+// Speculation never touches the cluster RNG, the event heap, worker
+// bookkeeping, or the metrics: pricing and publication happen later, on
+// the scheduling goroutine, in exact event order. Workload.Step for a
+// given partition only ever runs one-at-a-time and in step order (each
+// worker has at most one pending event), so per-partition user state
+// needs no locking. The result: identical virtual-time output, with the
+// dominant cost — real user compute — overlapped across cores.
+type parallelScheduler[D any] struct {
+	*core[D]
+	lookahead simtime.Duration
+	tasks     chan func()
+	wg        sync.WaitGroup
+	// futures holds at most one pre-executed step per partition, keyed by
+	// the partition; consumed (and removed) by the next Execute for it.
+	futures map[int]*stepFuture[D]
+	// lastScan is the event-heap frontier at the last dispatch scan; the
+	// scan re-runs only when the frontier advances.
+	lastScan simtime.Duration
+	scanned  bool
+	closed   bool
+}
+
+// stepFuture is one speculatively executing step.
+type stepFuture[D any] struct {
+	step     int   // the worker step index the speculation ran
+	versions []int // input versions used, parallel to neighbors
+	out      StepOutcome[D]
+	err      error
+	done     chan struct{}
+}
+
+func newParallelScheduler[D any](k *core[D]) *parallelScheduler[D] {
+	n := k.opt.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(k.workers) {
+		n = len(k.workers)
+	}
+	s := &parallelScheduler[D]{
+		core:      k,
+		lookahead: k.c.AsyncPublishFloor(),
+		// One slot per partition: each worker has at most one pending
+		// event, hence at most one in-flight speculation, so sends to the
+		// task channel never block the scheduling loop.
+		tasks:   make(chan func(), len(k.workers)),
+		futures: make(map[int]*stepFuture[D], len(k.workers)),
+	}
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for fn := range s.tasks {
+				fn()
+			}
+		}()
+	}
+	return s
+}
+
+// Admit dispatches speculation for the current lookahead window, then
+// pops the next event exactly as the DES does.
+func (s *parallelScheduler[D]) Admit() (int, bool) {
+	s.speculate()
+	return s.core.Admit()
+}
+
+// speculate scans the pending events once per frontier advance and
+// pre-executes every step the lookahead rule proves independent.
+func (s *parallelScheduler[D]) speculate() {
+	head, ok := s.heap.Peek()
+	if !ok || s.lookahead <= 0 {
+		return
+	}
+	if s.scanned && head.At == s.lastScan {
+		return
+	}
+	s.scanned, s.lastScan = true, head.At
+	window := head.At + s.lookahead
+	s.heap.Scan(func(e simtime.Event) {
+		if e.At >= window {
+			return
+		}
+		p := e.ID
+		if _, busy := s.futures[p]; busy {
+			return
+		}
+		st := s.workers[p]
+		if s.opt.Staleness >= 0 && !s.gateCertain(st, e.At) {
+			return
+		}
+		inputs := make([]Snapshot[D], len(st.neighbors))
+		versions := make([]int, len(st.neighbors))
+		for j, q := range st.neighbors {
+			snap, ok := s.store.ReadAt(q, e.At)
+			if !ok {
+				return // startup race impossible by construction; run inline
+			}
+			inputs[j], versions[j] = snap, snap.Version
+		}
+		fut := &stepFuture[D]{step: st.steps, versions: versions, done: make(chan struct{})}
+		s.futures[p] = fut
+		part, step := p, st.steps
+		s.tasks <- func() {
+			fut.out, fut.err = runStep(s.w, part, step, inputs)
+			close(fut.done)
+		}
+	})
+}
+
+// gateCertain reports whether p's staleness gate at time t passes
+// independently of anything the current window can still change: every
+// neighbor's visible version at t covers the requirement without leaning
+// on the idle/forced exemptions.
+func (s *parallelScheduler[D]) gateCertain(st *workerState, t simtime.Duration) bool {
+	need := st.version - s.opt.Staleness
+	if need <= 0 {
+		return true
+	}
+	for _, nb := range st.neighbors {
+		snap, ok := s.store.ReadAt(nb, t)
+		if !ok || snap.Version < need {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute consumes p's pre-executed step when one exists, after
+// re-running the canonical input read (consumption and staleness-lead
+// accounting happen in event order, exactly as under DES) and verifying
+// the speculation saw the same input versions. Without a future, the
+// step runs inline.
+func (s *parallelScheduler[D]) Execute(p int) (StepOutcome[D], error) {
+	fut, ok := s.futures[p]
+	if !ok {
+		return s.core.Execute(p)
+	}
+	delete(s.futures, p)
+	st := s.workers[p]
+	inputs, err := s.readInputs(p)
+	if err != nil {
+		return StepOutcome[D]{}, err
+	}
+	if fut.step != st.steps {
+		return StepOutcome[D]{}, fmt.Errorf("async: executor bug: partition %d speculated step %d, replaying step %d", p, fut.step, st.steps)
+	}
+	for j := range inputs {
+		if inputs[j].Version != fut.versions[j] {
+			return StepOutcome[D]{}, fmt.Errorf(
+				"async: conservative lookahead violated: partition %d reads neighbor %d at version %d, speculation used %d",
+				p, st.neighbors[j], inputs[j].Version, fut.versions[j])
+		}
+	}
+	<-fut.done
+	if fut.err != nil {
+		return StepOutcome[D]{}, fut.err
+	}
+	s.noteStep(p, fut.out)
+	s.stats.Speculated++
+	return fut.out, nil
+}
+
+// Finish checks that every speculation was consumed, then finalizes as
+// the core does.
+func (s *parallelScheduler[D]) Finish() (*RunStats, error) {
+	if len(s.futures) != 0 {
+		return nil, fmt.Errorf("async: executor bug: %d speculated steps never consumed", len(s.futures))
+	}
+	return s.core.Finish()
+}
+
+// Close drains the goroutine pool. After Close returns, no pool
+// goroutine touches workload state — callers may reuse the workload's
+// underlying data single-threadedly.
+func (s *parallelScheduler[D]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.tasks)
+	s.wg.Wait()
+}

@@ -1,0 +1,239 @@
+package async
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// statsEqual compares every virtual-time field of two runs. Speculated
+// is the one executor-specific observability counter and is excluded.
+func statsEqual(t *testing.T, label string, des, par *RunStats) {
+	t.Helper()
+	if des.Steps != par.Steps || des.Publishes != par.Publishes ||
+		des.PushedBytes != par.PushedBytes || des.GateWaits != par.GateWaits ||
+		des.MaxLead != par.MaxLead || des.Failures != par.Failures ||
+		des.Converged != par.Converged || des.Duration != par.Duration ||
+		des.MeanSteps != par.MeanSteps {
+		t.Fatalf("%s: executors diverged:\nDES:      %+v\nParallel: %+v", label, des, par)
+	}
+	if !reflect.DeepEqual(des.PerWorkerSteps, par.PerWorkerSteps) {
+		t.Fatalf("%s: per-worker steps diverged: %v vs %v", label, des.PerWorkerSteps, par.PerWorkerSteps)
+	}
+}
+
+// noisyCluster enables stragglers and failures so the parity assertions
+// also cover the stochastic draw order.
+func noisyCluster() *cluster.Cluster {
+	cfg := cluster.EC2LargeCluster()
+	cfg.FailureProb = 0.05
+	cfg.StragglerJitter = 0.2
+	return cluster.New(cfg)
+}
+
+// TestParallelMatchesDES is the determinism parity contract: the
+// parallel executor must produce identical virtual-time metrics and
+// identical converged workload state to the sequential DES, at lockstep,
+// intermediate, and unbounded staleness. Run under -race it also proves
+// the speculative pool is data-race-free.
+func TestParallelMatchesDES(t *testing.T) {
+	hetero := func(p int) int64 { return int64(1e4 * (1 + p)) }
+	for _, s := range []int{0, 2, Unbounded} {
+		run := func(ex Executor) ([]int64, *RunStats) {
+			vals := make([]int64, 6)
+			for p := range vals {
+				// Distinct per-partition values exercise propagation.
+				vals[p] = int64((p*7)%11 + 1)
+			}
+			w := maxProp(vals)
+			stats, err := Run(noisyCluster(), w, Options{Staleness: s, Executor: ex})
+			if err != nil {
+				t.Fatalf("S=%d %v: %v", s, ex, err)
+			}
+			return vals, stats
+		}
+		desVals, desStats := run(DES)
+		parVals, parStats := run(Parallel)
+		statsEqual(t, "maxProp", desStats, parStats)
+		if !reflect.DeepEqual(desVals, parVals) {
+			t.Fatalf("S=%d: converged state diverged: %v vs %v", s, desVals, parVals)
+		}
+
+		runCounter := func(ex Executor) *RunStats {
+			stats, err := Run(noisyCluster(), counter(5, 30, hetero), Options{Staleness: s, Executor: ex})
+			if err != nil {
+				t.Fatalf("S=%d %v: %v", s, ex, err)
+			}
+			return stats
+		}
+		statsEqual(t, "counter", runCounter(DES), runCounter(Parallel))
+	}
+}
+
+// TestParallelSpeculates: with several same-speed workers, the lookahead
+// window must actually admit concurrent steps — a parallel executor that
+// never speculates is just a slower DES.
+func TestParallelSpeculates(t *testing.T) {
+	uniform := func(int) int64 { return 1e5 }
+	stats, err := Run(quietCluster(), counter(8, 25, uniform), Options{Staleness: 2, Executor: Parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Speculated == 0 {
+		t.Fatal("parallel executor never pre-executed a step")
+	}
+	if stats.Speculated > stats.Steps {
+		t.Fatalf("speculated %d of %d steps", stats.Speculated, stats.Steps)
+	}
+	// DES never speculates.
+	stats, err = Run(quietCluster(), counter(8, 25, uniform), Options{Staleness: 2, Executor: DES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Speculated != 0 {
+		t.Fatalf("DES reported %d speculated steps", stats.Speculated)
+	}
+}
+
+// TestParallelStepConcurrencyContract: a partition's Step calls never
+// overlap each other and always arrive in step order, even under the
+// speculative pool — the per-partition serialization the Workload
+// contract promises. (That cross-partition steps genuinely overlap in
+// wall time is asserted separately by TestParallelOverlapScales, which
+// does not depend on preemption timing.)
+func TestParallelStepConcurrencyContract(t *testing.T) {
+	const parts = 8
+	var inFlight [parts]atomic.Int32
+	var lastStep [parts]atomic.Int32
+	cnt := make([]int64, parts)
+	w := &toy{
+		parts:     parts,
+		neighbors: ring(parts),
+		init:      func(p int) (int64, int64) { return 0, 1 << 10 },
+		step: func(p, step int, inputs []Snapshot[int64]) StepOutcome[int64] {
+			if inFlight[p].Add(1) != 1 {
+				t.Errorf("partition %d stepped concurrently with itself", p)
+			}
+			if int32(step) != lastStep[p].Load() {
+				t.Errorf("partition %d ran step %d after %d", p, step, lastStep[p].Load())
+			}
+			lastStep[p].Store(int32(step) + 1)
+			for i := 0; i < 2000; i++ { // linger to widen any overlap window
+				_ = i
+			}
+			inFlight[p].Add(-1)
+			if cnt[p] >= 20 {
+				return StepOutcome[int64]{Ops: 1, LocalIters: 1, Quiescent: true}
+			}
+			cnt[p]++
+			return StepOutcome[int64]{
+				Publish: true, Data: cnt[p], Bytes: 8, Ops: 1e5,
+				LocalIters: 1, Quiescent: cnt[p] >= 20,
+			}
+		},
+	}
+	stats, err := Run(quietCluster(), w, Options{Staleness: 4, Executor: Parallel, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("not converged")
+	}
+	if stats.Speculated == 0 {
+		t.Fatal("pool never exercised: no step was speculated")
+	}
+}
+
+// sleepToy builds a workload whose steps block for a fixed real
+// duration. Sleeps overlap even on a single hardware thread, so this
+// measures the executor's step concurrency independently of the
+// machine's core count (CPU-bound scaling on real cores is what
+// BenchmarkAsyncParallel at the repo root measures).
+func sleepToy(n, target int, d time.Duration) *toy {
+	cnt := make([]int64, n)
+	return &toy{
+		parts:     n,
+		neighbors: ring(n),
+		init:      func(p int) (int64, int64) { return 0, 1 << 10 },
+		step: func(p, step int, inputs []Snapshot[int64]) StepOutcome[int64] {
+			time.Sleep(d)
+			if cnt[p] >= int64(target) {
+				return StepOutcome[int64]{Ops: 1, LocalIters: 1, Quiescent: true}
+			}
+			cnt[p]++
+			return StepOutcome[int64]{
+				Publish: true, Data: cnt[p], Bytes: 8, Ops: 2e5,
+				LocalIters: 1, Quiescent: cnt[p] >= int64(target),
+			}
+		},
+	}
+}
+
+// TestParallelOverlapScales: the point of the parallel executor is that
+// worker steps overlap in wall-clock time. With 16 uniform workers whose
+// steps each block 500µs, the DES needs >= steps x 500µs of wall time by
+// construction; the parallel executor must overlap enough of them to
+// beat it by a wide margin. (Thresholds are loose — 2x where ~4x is
+// expected at 4 workers — to keep the test robust on loaded machines.)
+func TestParallelOverlapScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	run := func(ex Executor, workers int) (time.Duration, *RunStats) {
+		start := time.Now()
+		stats, err := Run(quietCluster(), sleepToy(16, 40, 500*time.Microsecond),
+			Options{Staleness: 4, Executor: ex, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), stats
+	}
+	desWall, desStats := run(DES, 0)
+	parWall, parStats := run(Parallel, 4)
+	if desStats.Duration != parStats.Duration || desStats.Steps != parStats.Steps {
+		t.Fatalf("executors diverged: %+v vs %+v", desStats, parStats)
+	}
+	if parWall*2 >= desWall {
+		t.Fatalf("parallel executor did not overlap steps: DES %v, parallel(4) %v", desWall, parWall)
+	}
+}
+
+// TestParallelWorkloadValidation: the parallel path surfaces the same
+// construction and step errors as the DES.
+func TestParallelWorkloadValidation(t *testing.T) {
+	if _, err := Run(quietCluster(), &toy{parts: 0}, Options{Executor: Parallel}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	panicky := maxProp([]int64{1, 2})
+	panicky.step = func(p, step int, inputs []Snapshot[int64]) StepOutcome[int64] {
+		panic("boom")
+	}
+	if _, err := Run(quietCluster(), panicky, Options{Executor: Parallel}); err == nil {
+		t.Fatal("step panic not converted to error")
+	}
+	if _, err := Run(quietCluster(), maxProp([]int64{1, 2}), Options{Executor: Executor(99)}); err == nil {
+		t.Fatal("unknown executor accepted")
+	}
+}
+
+// TestParallelWorkerCap: explicit worker counts (including 1) are valid
+// and preserve results.
+func TestParallelWorkerCap(t *testing.T) {
+	uniform := func(int) int64 { return 1e5 }
+	var base *RunStats
+	for _, workers := range []int{1, 2, 16} {
+		stats, err := Run(quietCluster(), counter(6, 25, uniform),
+			Options{Staleness: 1, Executor: Parallel, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = stats
+		} else if stats.Duration != base.Duration || stats.Steps != base.Steps {
+			t.Fatalf("workers=%d changed results: %+v vs %+v", workers, stats, base)
+		}
+	}
+}

@@ -1,0 +1,613 @@
+// Package async is the fully-asynchronous bounded-staleness runtime, the
+// third scheduling mode next to the general (synchronous MapReduce) and
+// eager (partial synchronization) formulations. It follows the direction
+// of the asynchronous-dataflow literature (Gonzalez et al.'s ASIP,
+// Hannah & Yin's "more iterations per second", the stale synchronous
+// parallel parameter server): per-partition workers iterate
+// independently against a shared versioned state store, reading
+// neighbor-partition state that may be up to S versions stale.
+//
+//   - S = 0 degenerates to lockstep: a worker may never publish ahead of
+//     an active neighbor, recovering BSP-like waves without a global
+//     barrier primitive.
+//   - S = Unbounded is free-running chaotic iteration: workers never
+//     wait; staleness is limited only by relative execution speed.
+//   - Intermediate S is the stale-synchronous-parallel regime: fast
+//     workers run ahead until the bound forces them to let laggards
+//     catch up.
+//
+// Execution is a deterministic discrete-event simulation: real user
+// compute runs for every step, but ordering and cost come from the
+// virtual clock (package simtime) and the cluster cost model (package
+// cluster), so runs replay identically for a fixed configuration.
+//
+// The scheduling core is mode-agnostic (Scheduler); two executors
+// implement it. DES (des.go) runs every step inline on the scheduling
+// goroutine — the original sequential discrete-event mode. Parallel
+// (parallel.go) pre-executes provably independent steps on real
+// goroutines using conservative lookahead, overlapping worker compute on
+// real cores while producing virtual-time results identical to DES.
+package async
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+)
+
+// Unbounded disables the staleness gate: workers free-run.
+const Unbounded = -1
+
+// DefaultMaxSteps bounds per-worker steps when Options.MaxSteps is zero;
+// hitting it means the workload is not settling (oscillation or a
+// divergent update rule) and is reported as Converged=false.
+const DefaultMaxSteps = 10000
+
+// Executor selects how admitted worker steps execute.
+type Executor int
+
+const (
+	// DES runs every step inline on the scheduling goroutine in strict
+	// virtual-time order: the original deterministic discrete-event mode.
+	DES Executor = iota
+	// Parallel pre-executes provably independent steps on real goroutines
+	// (conservative lookahead), keeping virtual-time results identical to
+	// DES while wall-clock work overlaps across cores.
+	Parallel
+)
+
+func (e Executor) String() string {
+	switch e {
+	case DES:
+		return "des"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("executor(%d)", int(e))
+	}
+}
+
+// Options configure an asynchronous run.
+type Options struct {
+	// Staleness is the bound S: a worker may read neighbor state at most
+	// S versions behind its own publication counter. 0 is lockstep,
+	// Unbounded (negative) is free-running.
+	Staleness int
+	// MaxSteps caps the steps of each worker (0 = DefaultMaxSteps).
+	MaxSteps int
+	// Executor selects the execution strategy (default DES).
+	Executor Executor
+	// Workers caps the parallel executor's goroutine pool (0 =
+	// GOMAXPROCS). The DES executor ignores it.
+	Workers int
+}
+
+// StepOutcome is what one worker step hands back to the engine.
+type StepOutcome[D any] struct {
+	// Publish, when true, appends Data as the partition's next version.
+	// Workers publish only on material change; a no-change step
+	// publishing anyway would wake every reader and livelock the system
+	// at the floating-point noise floor.
+	Publish bool
+	// Data is the new boundary state (meaningful when Publish).
+	Data D
+	// Bytes is the serialized size of Data, pricing the push.
+	Bytes int64
+	// Ops is the user compute performed, priced at the cluster's rate.
+	Ops int64
+	// LocalIters counts local sweeps inside the step, each priced one
+	// LocalSyncOverhead (the same in-memory barrier the eager mode pays).
+	LocalIters int64
+	// Quiescent reports local convergence: the step changed (almost)
+	// nothing, so the worker should sleep until fresher input arrives.
+	// A non-quiescent worker is immediately rescheduled.
+	Quiescent bool
+}
+
+// Workload adapts one algorithm to the asynchronous runtime. This is the
+// common iterate-until-converged contract all three workloads (PageRank,
+// SSSP, K-Means) implement; the engine is oblivious to what D holds.
+//
+// Step must be a deterministic function of (p, step, inputs) and state
+// that only partition p's own steps mutate. The parallel executor relies
+// on this: it may run Step for different partitions concurrently, and it
+// may run a step before its virtual timestamp is reached, whenever
+// conservative lookahead proves the inputs final.
+type Workload[D any] interface {
+	// Parts returns the number of partitions (= workers).
+	Parts() int
+	// Neighbors lists the partitions whose published state partition p
+	// reads, in a fixed deterministic order, excluding p itself.
+	Neighbors(p int) []int
+	// Init returns partition p's initial published state (version 0,
+	// visible from virtual time zero — the job input already resides on
+	// the DFS) and the partition's input size in bytes, which prices the
+	// worker's one-time startup read.
+	Init(p int) (data D, inputBytes int64)
+	// Step runs one asynchronous super-step for partition p: integrate
+	// the given neighbor snapshots (parallel to Neighbors(p)), advance
+	// local state, and report what changed. step counts prior calls for
+	// this partition.
+	Step(p int, step int, inputs []Snapshot[D]) StepOutcome[D]
+}
+
+// RunStats summarizes an asynchronous run.
+type RunStats struct {
+	// Steps is the total worker steps executed; MeanSteps averages them
+	// per worker — the asynchronous analogue of the figures' global
+	// iteration count.
+	Steps     int64
+	MeanSteps float64
+	// Publishes and PushedBytes measure the asynchronous synchronization
+	// traffic that replaces the shuffle.
+	Publishes   int64
+	PushedBytes int64
+	// GateWaits counts steps delayed by the staleness bound.
+	GateWaits int64
+	// MaxLead is the largest observed lead of a worker's publication
+	// counter over a version it read from a still-active neighbor; the
+	// staleness invariant is MaxLead <= S for bounded runs. (Reads from
+	// settled partitions are excluded: their newest version is their
+	// final state.)
+	MaxLead int
+	// Failures counts replayed step attempts under the transient-failure
+	// model.
+	Failures int
+	// Converged is false when a worker hit MaxSteps instead of settling.
+	Converged bool
+	// Duration is the simulated time to global quiescence: the latest
+	// worker virtual clock.
+	Duration simtime.Duration
+	// PerWorkerSteps records each worker's step count.
+	PerWorkerSteps []int
+	// Speculated counts steps satisfied by conservative pre-execution on
+	// the parallel executor (always 0 under DES). It is an observability
+	// counter, not a virtual-time quantity: two executors producing the
+	// same run report the same stats apart from this field.
+	Speculated int64
+}
+
+// Scheduler is the mode-agnostic scheduling contract of the asynchronous
+// runtime. Drive runs its phases in a fixed loop:
+//
+//	for Admit() → Gate() → Execute() → Publish() → Advance(); then Finish().
+//
+// Both executors share one core implementation of the bookkeeping phases
+// (workerState, staleness gate, pricing, wake-on-publish); they differ
+// only in how Execute maps admitted steps onto OS resources. That keeps
+// the deterministic event order — and therefore every stochastic draw
+// and virtual-time result — identical across executors.
+type Scheduler[D any] interface {
+	// Admit pops the next due worker event and advances that worker's
+	// local clock to the event time; ok is false once the event queue
+	// has drained. Executors may use this hook to pre-execute upcoming
+	// independent steps.
+	Admit() (p int, ok bool)
+	// Gate applies the staleness bound to p at its current virtual time.
+	// It either admits the step (true) or books the wait: blocking p on
+	// the laggard neighbor, or rescheduling p at the virtual time the
+	// needed version becomes visible.
+	Gate(p int) bool
+	// Execute runs p's next step against the snapshots visible at p's
+	// virtual time and records consumption/staleness accounting.
+	Execute(p int) (StepOutcome[D], error)
+	// Publish prices the executed step (compute, local syncs, push,
+	// straggler and failure draws), advances p's virtual clock, appends
+	// published state to the store, and wakes idle readers and gated
+	// waiters.
+	Publish(p int, out StepOutcome[D]) error
+	// Advance decides p's next move: requeue immediately, wait for
+	// fresher input, go idle, or force-stop at the step cap.
+	Advance(p int, out StepOutcome[D])
+	// Finish validates drain invariants, folds per-run counters into the
+	// cluster's metrics and clock, and returns the run's stats.
+	Finish() (*RunStats, error)
+	// Close releases executor resources (goroutine pools). It is
+	// idempotent and must be called even when a phase returned an error.
+	Close()
+}
+
+// Run executes the workload to global quiescence on the given simulated
+// cluster, advancing its clock by the run's duration. The executor in
+// opt chooses between the sequential DES and the wall-clock-parallel
+// strategy; both produce identical virtual-time results.
+func Run[D any](c *cluster.Cluster, w Workload[D], opt Options) (*RunStats, error) {
+	s, err := NewScheduler(c, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return Drive(s)
+}
+
+// NewScheduler builds the scheduler for opt.Executor over the workload.
+func NewScheduler[D any](c *cluster.Cluster, w Workload[D], opt Options) (Scheduler[D], error) {
+	k, err := newCore(c, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	switch opt.Executor {
+	case DES:
+		return &desScheduler[D]{k}, nil
+	case Parallel:
+		return newParallelScheduler(k), nil
+	default:
+		return nil, fmt.Errorf("async: unknown executor %v", opt.Executor)
+	}
+}
+
+// Drive runs a scheduler's phase loop to global quiescence.
+func Drive[D any](s Scheduler[D]) (*RunStats, error) {
+	for {
+		p, ok := s.Admit()
+		if !ok {
+			break
+		}
+		if !s.Gate(p) {
+			continue
+		}
+		out, err := s.Execute(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Publish(p, out); err != nil {
+			return nil, err
+		}
+		s.Advance(p, out)
+	}
+	return s.Finish()
+}
+
+// workerState is the core's per-partition bookkeeping.
+type workerState struct {
+	clock     simtime.Duration // the worker's local virtual clock
+	steps     int
+	version   int // publication counter; version 0 is the initial state
+	neighbors []int
+	readers   []int // partitions that read this one
+	consumed  []int // last version consumed, parallel to neighbors
+	idle      bool
+	forced    bool // stopped by MaxSteps
+	quiescent bool // last outcome's report
+	// gateWaiters lists workers blocked until this partition publishes a
+	// version (or goes idle).
+	gateWaiters []int
+}
+
+// core holds the shared bookkeeping both executors drive: worker states,
+// the versioned store, the event heap, pricing, and stats. All core
+// methods run on the single scheduling goroutine; only Workload.Step may
+// be offloaded (see parallel.go).
+type core[D any] struct {
+	c        *cluster.Cluster
+	cfg      *cluster.Config
+	w        Workload[D]
+	opt      Options
+	maxSteps int
+	store    *Store[D]
+	workers  []*workerState
+	heap     simtime.EventHeap
+	stats    *RunStats
+	blocked  int
+	totalOps int64
+}
+
+// newCore validates the workload and performs startup: version 0 of
+// every partition is the job input, visible at time zero. Workers pay
+// one job launch (amortized over the whole run — the asynchronous
+// runtime is a single long-lived job) plus their task start and input
+// read before their first step.
+func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], error) {
+	n := w.Parts()
+	if n <= 0 {
+		return nil, fmt.Errorf("async: workload has %d partitions", n)
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	k := &core[D]{
+		c:        c,
+		cfg:      c.Config(),
+		w:        w,
+		opt:      opt,
+		maxSteps: maxSteps,
+		store:    NewStore[D](n),
+		workers:  make([]*workerState, n),
+		stats:    &RunStats{Converged: true},
+	}
+	for p := 0; p < n; p++ {
+		nbrs := w.Neighbors(p)
+		for _, q := range nbrs {
+			if q < 0 || q >= n || q == p {
+				return nil, fmt.Errorf("async: partition %d has invalid neighbor %d", p, q)
+			}
+		}
+		k.workers[p] = &workerState{
+			neighbors: nbrs,
+			consumed:  make([]int, len(nbrs)),
+		}
+		for j := range k.workers[p].consumed {
+			k.workers[p].consumed[j] = -1
+		}
+	}
+	for p, st := range k.workers {
+		for _, q := range st.neighbors {
+			k.workers[q].readers = append(k.workers[q].readers, p)
+		}
+	}
+	for p, st := range k.workers {
+		data, bytes := w.Init(p)
+		if err := k.store.Publish(p, 0, 0, data); err != nil {
+			return nil, err
+		}
+		start := k.cfg.TaskOverhead + c.DFSReadCost(bytes, true)
+		start = simtime.Duration(float64(start) * c.StragglerFactor())
+		st.clock = k.cfg.JobOverhead + start
+		k.heap.Push(st.clock, p)
+	}
+	return k, nil
+}
+
+// Admit pops the next due event; see Scheduler.
+func (k *core[D]) Admit() (int, bool) {
+	if k.heap.Len() == 0 {
+		return -1, false
+	}
+	ev := k.heap.Pop()
+	st := k.workers[ev.ID]
+	if st.clock < ev.At {
+		st.clock = ev.At
+	}
+	return ev.ID, true
+}
+
+// Gate applies the staleness bound; see Scheduler. With bound S,
+// partition p may not run a step while its publication counter leads the
+// visible version of any active neighbor by more than S.
+func (k *core[D]) Gate(p int) bool {
+	if k.opt.Staleness < 0 {
+		return true
+	}
+	st := k.workers[p]
+	q, wakeAt, wait := gateCheck(k.store, k.workers, st, st.clock, k.opt.Staleness)
+	if !wait {
+		return true
+	}
+	k.stats.GateWaits++
+	if q >= 0 {
+		// The needed version does not exist yet: sleep until q publishes
+		// or goes idle.
+		k.workers[q].gateWaiters = append(k.workers[q].gateWaiters, p)
+		k.blocked++
+	} else {
+		// The needed version exists but becomes visible only at wakeAt:
+		// wait for it in virtual time.
+		k.heap.Push(wakeAt, p)
+	}
+	return false
+}
+
+// readInputs reads the snapshots visible at p's clock and records
+// consumption and staleness-lead accounting.
+func (k *core[D]) readInputs(p int) ([]Snapshot[D], error) {
+	st := k.workers[p]
+	t := st.clock
+	inputs := make([]Snapshot[D], len(st.neighbors))
+	for j, q := range st.neighbors {
+		snap, ok := k.store.ReadAt(q, t)
+		if !ok {
+			return nil, fmt.Errorf("async: partition %d invisible to %d at %v", q, p, t)
+		}
+		inputs[j] = snap
+		st.consumed[j] = snap.Version
+		// Lead is only meaningful against active neighbors: an idle
+		// partition's newest version IS its final state, so reading it at
+		// any age reads the freshest truth.
+		if !k.workers[q].idle && !k.workers[q].forced {
+			if lead := st.version - snap.Version; lead > k.stats.MaxLead {
+				k.stats.MaxLead = lead
+			}
+		}
+	}
+	return inputs, nil
+}
+
+// noteStep records a completed step in the worker and run counters.
+func (k *core[D]) noteStep(p int, out StepOutcome[D]) {
+	st := k.workers[p]
+	st.steps++
+	st.quiescent = out.Quiescent
+	k.stats.Steps++
+	k.totalOps += out.Ops
+}
+
+// Execute runs p's step inline on the scheduling goroutine; see
+// Scheduler. The parallel executor overrides this with a speculative
+// fast path.
+func (k *core[D]) Execute(p int) (StepOutcome[D], error) {
+	st := k.workers[p]
+	inputs, err := k.readInputs(p)
+	if err != nil {
+		return StepOutcome[D]{}, err
+	}
+	out, err := runStep(k.w, p, st.steps, inputs)
+	if err != nil {
+		return StepOutcome[D]{}, err
+	}
+	k.noteStep(p, out)
+	return out, nil
+}
+
+// Publish prices the step and makes its state visible; see Scheduler.
+// The stochastic draws (straggler, failure replay) happen here, on the
+// scheduling goroutine, in event order — that is what keeps every
+// executor's virtual-time results identical.
+func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
+	st := k.workers[p]
+	d := k.c.ComputeCost(out.Ops)
+	d += simtime.Duration(float64(out.LocalIters)) * k.cfg.LocalSyncOverhead
+	if out.Publish {
+		d += k.c.AsyncPushCost(out.Bytes)
+	}
+	d = simtime.Duration(float64(d) * k.c.StragglerFactor())
+	if attempts, wasted := k.c.TaskAttempts(); attempts > 1 {
+		k.stats.Failures += attempts - 1
+		d += simtime.Duration(wasted * float64(d))
+	}
+	st.clock += d
+
+	if !out.Publish {
+		return nil
+	}
+	st.version++
+	if err := k.store.Publish(p, st.version, st.clock, out.Data); err != nil {
+		return err
+	}
+	k.stats.Publishes++
+	k.stats.PushedBytes += out.Bytes
+	// Wake idle readers: fresh input may un-quiesce them.
+	for _, r := range st.readers {
+		if k.workers[r].idle && !k.workers[r].forced {
+			k.workers[r].idle = false
+			wake := k.workers[r].clock
+			if st.clock > wake {
+				wake = st.clock
+			}
+			k.heap.Push(wake, r)
+		}
+	}
+	k.blocked -= k.releaseGateWaiters(st)
+	return nil
+}
+
+// Advance decides p's next move; see Scheduler.
+func (k *core[D]) Advance(p int, out StepOutcome[D]) {
+	st := k.workers[p]
+	switch {
+	case st.steps >= k.maxSteps:
+		st.forced = true
+		k.stats.Converged = false
+		k.blocked -= k.releaseGateWaiters(st)
+	case !out.Quiescent:
+		k.heap.Push(st.clock, p)
+	default:
+		if at, unseen := firstUnseen(k.store, st); unseen {
+			// Fresher input already exists; consume it once it is visible
+			// on p's clock.
+			if at < st.clock {
+				at = st.clock
+			}
+			k.heap.Push(at, p)
+		} else {
+			st.idle = true
+			k.blocked -= k.releaseGateWaiters(st)
+		}
+	}
+}
+
+// Finish validates drain invariants and folds the run into the cluster;
+// see Scheduler.
+func (k *core[D]) Finish() (*RunStats, error) {
+	if k.blocked != 0 {
+		return nil, fmt.Errorf("async: %d workers still gate-blocked at drain", k.blocked)
+	}
+	stats := k.stats
+	n := len(k.workers)
+	stats.PerWorkerSteps = make([]int, n)
+	var latest simtime.Duration
+	for p, st := range k.workers {
+		stats.PerWorkerSteps[p] = st.steps
+		if st.clock > latest {
+			latest = st.clock
+		}
+		if !st.quiescent && !st.forced {
+			stats.Converged = false
+		}
+	}
+	stats.Duration = latest
+	stats.MeanSteps = float64(stats.Steps) / float64(n)
+
+	k.c.Account(func(m *cluster.Metrics) {
+		m.AsyncSteps += stats.Steps
+		m.AsyncPublishes += stats.Publishes
+		m.AsyncPushedBytes += stats.PushedBytes
+		m.AsyncGateWaits += stats.GateWaits
+		m.ComputeOps += k.totalOps
+	})
+	k.c.Clock().Advance(stats.Duration)
+	return stats, nil
+}
+
+// releaseGateWaiters reschedules every worker blocked on st (after st
+// published, idled, or was force-stopped) and returns how many were
+// released. Waiters re-run the full gate at their event, so a premature
+// wake only re-blocks.
+func (k *core[D]) releaseGateWaiters(st *workerState) int {
+	released := len(st.gateWaiters)
+	for _, r := range st.gateWaiters {
+		wake := k.workers[r].clock
+		if st.clock > wake {
+			wake = st.clock
+		}
+		k.heap.Push(wake, r)
+	}
+	st.gateWaiters = st.gateWaiters[:0]
+	return released
+}
+
+// gateCheck evaluates the staleness bound for st at time t. wait=false
+// means the step may run. Otherwise either q >= 0 (the needed version of
+// q does not exist yet; block until q publishes or idles) or q = -1 and
+// wakeAt holds the virtual time the needed version becomes visible.
+func gateCheck[D any](store *Store[D], workers []*workerState, st *workerState, t simtime.Duration, s int) (q int, wakeAt simtime.Duration, wait bool) {
+	for _, nb := range st.neighbors {
+		need := st.version - s
+		if need <= 0 {
+			continue
+		}
+		other := workers[nb]
+		if other.idle || other.forced {
+			continue // settled neighbors impose no gate
+		}
+		snap, ok := store.ReadAt(nb, t)
+		if ok && snap.Version >= need {
+			continue
+		}
+		if store.Latest(nb) >= need {
+			// Published but not yet visible: the publication time is in
+			// t's virtual future; wait exactly until then.
+			return -1, store.WaitVersion(nb, need).At, true
+		}
+		return nb, 0, true
+	}
+	return -1, 0, false
+}
+
+// firstUnseen reports whether any neighbor has published a version newer
+// than what st last consumed, and the earliest virtual time such a
+// version becomes visible.
+func firstUnseen[D any](store *Store[D], st *workerState) (at simtime.Duration, unseen bool) {
+	for j, q := range st.neighbors {
+		if store.Latest(q) > st.consumed[j] {
+			snap := store.WaitVersion(q, st.consumed[j]+1)
+			if !unseen || snap.At < at {
+				at = snap.At
+				unseen = true
+			}
+		}
+	}
+	return at, unseen
+}
+
+// runStep invokes the workload step, converting panics in user code into
+// errors, mirroring the MapReduce engine's task recovery.
+func runStep[D any](w Workload[D], p, step int, inputs []Snapshot[D]) (out StepOutcome[D], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("async: partition %d step %d panicked: %v", p, step, r)
+		}
+	}()
+	return w.Step(p, step, inputs), nil
+}

@@ -15,8 +15,17 @@ import (
 //
 // Methods that only price an action (Transfer, DFSWrite, ...) are pure
 // with respect to the clock: they return durations that the caller
-// schedules. Methods on Metrics are safe for concurrent use; the clock is
-// owned by the engine's scheduling loop.
+// schedules.
+//
+// Concurrency contract: pricing methods are pure and safe from any
+// goroutine; Account and Metrics serialize on an internal mutex; the
+// clock is advanced only by the engine's scheduling loop but may be read
+// (Now) from any goroutine. The stochastic draws (TaskAttempts,
+// StragglerFactor) consume the cluster RNG and are reserved to the
+// scheduling loop — drawing them out of event order would break
+// deterministic replay. Engines that fan work out to goroutines (the
+// parallel async executor) shard their counters per worker and merge
+// them through one Account call at the end of the run.
 type Cluster struct {
 	cfg   *Config
 	clock simtime.Clock
@@ -173,6 +182,19 @@ func (c *Cluster) AsyncPushCost(bytes int64) simtime.Duration {
 	return c.cfg.AsyncSyncOverhead + c.TransferCost(bytes)
 }
 
+// AsyncPublishFloor returns a lower bound on the virtual latency of any
+// asynchronous state publication under this cost model: a publishing
+// step pays at least AsyncPushCost(0) = AsyncSyncOverhead + NetLatency,
+// scaled by the worst-case straggler speedup (minStragglerFactor — a
+// "straggler" can also be a task that runs faster than nominal). This
+// bound is what makes conservative-lookahead parallel execution sound:
+// no pending event can make state visible earlier than its own timestamp
+// plus this floor, so events closer together than the floor are
+// independent and may execute concurrently.
+func (c *Cluster) AsyncPublishFloor() simtime.Duration {
+	return simtime.Duration(float64(c.cfg.AsyncSyncOverhead+c.cfg.NetLatency) * minStragglerFactor)
+}
+
 // DFSReadCost prices reading n bytes; reads hit one (usually local)
 // replica.
 func (c *Cluster) DFSReadCost(bytes int64, local bool) simtime.Duration {
@@ -207,15 +229,21 @@ func (c *Cluster) TaskAttempts() (int, float64) {
 	return attempts, wasted
 }
 
+// minStragglerFactor clamps how much faster than nominal a task may run
+// under straggler jitter. AsyncPublishFloor relies on this clamp to
+// lower-bound publication latency.
+const minStragglerFactor = 0.7
+
 // StragglerFactor samples the multiplicative slowdown of one task,
-// modeling EC2 heterogeneity. Always >= ~0.7 and centered at 1.
+// modeling EC2 heterogeneity. Always >= minStragglerFactor and centered
+// at 1.
 func (c *Cluster) StragglerFactor() float64 {
 	if c.cfg.StragglerJitter == 0 {
 		return 1
 	}
 	f := 1 + c.cfg.StragglerJitter*c.rng.NormFloat64()
-	if f < 0.7 {
-		f = 0.7
+	if f < minStragglerFactor {
+		f = minStragglerFactor
 	}
 	return f
 }

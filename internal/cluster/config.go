@@ -174,6 +174,19 @@ func EC2LargeCluster() *Config {
 	}
 }
 
+// EC2CrossRackCluster is the Table I testbed with an oversubscribed
+// aggregation layer: half the traffic crosses a 4:1 core. At small scale
+// the async mode's one-time job launch dominates every figure; with
+// cross-rack contention the per-publication push traffic and the
+// staleness gate waits become material, which is what the paper-scale
+// staleness sweep measures.
+func EC2CrossRackCluster() *Config {
+	c := EC2LargeCluster()
+	c.Name = "ec2-8-xlarge-xrack"
+	c.CrossRackFraction = 0.5
+	return c
+}
+
 // CluECluster approximates the 460-node IBM-Google CluE cluster the paper
 // used for its scalability remark (§VI): many more nodes, heavily shared
 // network (cross-rack oversubscription), higher scheduling latency.

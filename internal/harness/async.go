@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/async"
 	"repro/internal/cluster"
@@ -27,40 +28,16 @@ func (s *Suite) asyncCluster() *cluster.Cluster {
 	return cluster.New(cfg)
 }
 
-// modeSweep runs PageRank in all three scheduling modes across the
-// partition sweep. The async "iterations" series reports mean worker
-// steps — the per-partition analogue of a global iteration.
-func (s *Suite) modeSweep(g *graph.Graph) (ks []int, it, tm [3][]float64, err error) {
-	ks = s.PartitionCounts()
-	opt := async.Options{Staleness: s.Staleness()}
-	for _, k := range ks {
-		subs, _, perr := s.partitions(g, k)
-		if perr != nil {
-			return nil, it, tm, perr
-		}
-		rg, rerr := pagerank.Run(s.engine(), subs, pagerank.DefaultConfig(), false)
-		if rerr != nil {
-			return nil, it, tm, rerr
-		}
-		re, rerr := pagerank.Run(s.engine(), subs, pagerank.DefaultConfig(), true)
-		if rerr != nil {
-			return nil, it, tm, rerr
-		}
-		ra, rerr := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
-		if rerr != nil {
-			return nil, it, tm, rerr
-		}
-		it[0] = append(it[0], float64(rg.Stats.GlobalIterations))
-		it[1] = append(it[1], float64(re.Stats.GlobalIterations))
-		it[2] = append(it[2], ra.Stats.MeanSteps)
-		tm[0] = append(tm[0], rg.Stats.Duration.Seconds())
-		tm[1] = append(tm[1], re.Stats.Duration.Seconds())
-		tm[2] = append(tm[2], ra.Stats.Duration.Seconds())
-		s.logf("pagerank k=%d: general %.0fs, eager %.0fs, async(S=%d) %.0fs\n",
-			k, rg.Stats.Duration.Seconds(), re.Stats.Duration.Seconds(),
-			s.Staleness(), ra.Stats.Duration.Seconds())
+// asyncOptions assembles the suite's async run options: staleness bound
+// plus the executor selection (DES by default; the CLI's -parallel flag
+// switches to the wall-clock-parallel executor, whose virtual-time
+// results are identical).
+func (s *Suite) asyncOptions(staleness int) async.Options {
+	return async.Options{
+		Staleness: staleness,
+		Executor:  s.AsyncExecutor,
+		Workers:   s.AsyncWorkers,
 	}
-	return ks, it, tm, nil
 }
 
 // Staleness returns the suite's async staleness bound: 0 is lockstep,
@@ -75,44 +52,119 @@ func stalenessLabel(s int) string {
 	return fmt.Sprintf("Async(S=%d)", s)
 }
 
-// asyncFigurePair assembles the three-mode iteration/time figures.
-func (s *Suite) asyncFigurePair(graphName string, ks []int, it, tm [3][]float64) (*Figure, *Figure) {
-	asyncLabel := stalenessLabel(s.Staleness())
+// ModeSeries is one scheduling mode's results across the partition
+// sweep: the mode's label plus parallel iteration and time series. The
+// async entries report mean worker steps as "iterations" — the
+// per-partition analogue of a global iteration.
+type ModeSeries struct {
+	Label string
+	Iters []float64
+	Times []float64
+}
+
+// modeRunner executes PageRank once in one scheduling mode.
+type modeRunner struct {
+	label string
+	run   func(subs []*graph.SubGraph) (iters, seconds float64, err error)
+}
+
+// modeRunners lists the scheduling modes the comparison figures sweep.
+// Adding a mode (or another async executor) means appending a row here;
+// sweep results are indexed by position in this slice, so no call site
+// hard-codes the mode count.
+func (s *Suite) modeRunners() []modeRunner {
+	mapreduceMode := func(eager bool) func([]*graph.SubGraph) (float64, float64, error) {
+		return func(subs []*graph.SubGraph) (float64, float64, error) {
+			r, err := pagerank.Run(s.engine(), subs, pagerank.DefaultConfig(), eager)
+			if err != nil {
+				return 0, 0, err
+			}
+			return float64(r.Stats.GlobalIterations), r.Stats.Duration.Seconds(), nil
+		}
+	}
+	return []modeRunner{
+		{"General", mapreduceMode(false)},
+		{"Eager", mapreduceMode(true)},
+		{stalenessLabel(s.Staleness()), func(subs []*graph.SubGraph) (float64, float64, error) {
+			r, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), s.asyncOptions(s.Staleness()))
+			if err != nil {
+				return 0, 0, err
+			}
+			return r.Stats.MeanSteps, r.Stats.Duration.Seconds(), nil
+		}},
+	}
+}
+
+// modeSweep runs PageRank in every scheduling mode across the partition
+// sweep.
+func (s *Suite) modeSweep(g *graph.Graph) (ks []int, modes []ModeSeries, err error) {
+	ks = s.PartitionCounts()
+	runners := s.modeRunners()
+	modes = make([]ModeSeries, len(runners))
+	for i, r := range runners {
+		modes[i].Label = r.label
+	}
+	for _, k := range ks {
+		subs, _, perr := s.partitions(g, k)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		for i, r := range runners {
+			iters, secs, rerr := r.run(subs)
+			if rerr != nil {
+				return nil, nil, rerr
+			}
+			modes[i].Iters = append(modes[i].Iters, iters)
+			modes[i].Times = append(modes[i].Times, secs)
+		}
+		s.logf("pagerank k=%d:", k)
+		for i, r := range runners {
+			s.logf(" %s %.0fs", r.label, modes[i].Times[len(modes[i].Times)-1])
+		}
+		s.logf("\n")
+	}
+	return ks, modes, nil
+}
+
+// asyncFigurePair assembles the multi-mode iteration/time figures.
+func (s *Suite) asyncFigurePair(graphName string, ks []int, modes []ModeSeries) (*Figure, *Figure) {
 	x := intsToFloats(ks)
+	itSeries := make([]Series, len(modes))
+	tSeries := make([]Series, len(modes))
+	for i, m := range modes {
+		itSeries[i] = Series{Label: m.Label, Y: m.Iters}
+		tSeries[i] = Series{Label: m.Label, Y: m.Times}
+	}
 	itFig := &Figure{
 		Title:  fmt.Sprintf("Async mode: PageRank iterations vs partitions (%s)", graphName),
 		XLabel: "# Partitions", YLabel: "# Iterations", X: x,
-		Series: []Series{
-			{Label: "General", Y: it[0]}, {Label: "Eager", Y: it[1]}, {Label: asyncLabel, Y: it[2]},
-		},
+		Series: itSeries,
 	}
 	tFig := &Figure{
 		Title:  fmt.Sprintf("Async mode: PageRank time to converge vs partitions (%s)", graphName),
 		XLabel: "# Partitions", YLabel: "Time (seconds)", X: x,
-		Series: []Series{
-			{Label: "General", Y: tm[0]}, {Label: "Eager", Y: tm[1]}, {Label: asyncLabel, Y: tm[2]},
-		},
+		Series: tSeries,
 	}
 	return itFig, tFig
 }
 
-// FiguresAsyncA compares all three scheduling modes on Graph A.
+// FiguresAsyncA compares all scheduling modes on Graph A.
 func (s *Suite) FiguresAsyncA() (*Figure, *Figure, error) {
-	ks, it, tm, err := s.modeSweep(s.GraphA())
+	ks, modes, err := s.modeSweep(s.GraphA())
 	if err != nil {
 		return nil, nil, err
 	}
-	itFig, tFig := s.asyncFigurePair("Graph A", ks, it, tm)
+	itFig, tFig := s.asyncFigurePair("Graph A", ks, modes)
 	return itFig, tFig, nil
 }
 
-// FiguresAsyncB compares all three scheduling modes on Graph B.
+// FiguresAsyncB compares all scheduling modes on Graph B.
 func (s *Suite) FiguresAsyncB() (*Figure, *Figure, error) {
-	ks, it, tm, err := s.modeSweep(s.GraphB())
+	ks, modes, err := s.modeSweep(s.GraphB())
 	if err != nil {
 		return nil, nil, err
 	}
-	itFig, tFig := s.asyncFigurePair("Graph B", ks, it, tm)
+	itFig, tFig := s.asyncFigurePair("Graph B", ks, modes)
 	return itFig, tFig, nil
 }
 
@@ -120,9 +172,11 @@ func (s *Suite) FiguresAsyncB() (*Figure, *Figure, error) {
 var StalenessValues = []int{0, 1, 2, 4, 8, async.Unbounded}
 
 // StalenessSweep runs async PageRank on Graph A across the staleness
-// axis at a fixed partition count — the new scenario dimension the async
+// axis at a fixed partition count — the scenario dimension the async
 // mode opens: how much does tolerating stale reads buy, and when does it
-// start costing extra steps?
+// start costing extra steps? The GateWaits series shows the price of
+// tight bounds; it becomes material at paper scale with cross-rack
+// contention (see StalenessSweepCrossRack).
 func (s *Suite) StalenessSweep() (*Figure, error) {
 	g := s.GraphA()
 	ks := s.PartitionCounts()
@@ -131,23 +185,29 @@ func (s *Suite) StalenessSweep() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	var times, steps []float64
+	var times, steps, waits []float64
 	for _, sv := range StalenessValues {
-		res, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), async.Options{Staleness: sv})
+		res, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), s.asyncOptions(sv))
 		if err != nil {
 			return nil, err
 		}
 		times = append(times, res.Stats.Duration.Seconds())
 		steps = append(steps, res.Stats.MeanSteps)
-		s.logf("staleness S=%d: %.1fs, %.1f mean steps\n", sv, res.Stats.Duration.Seconds(), res.Stats.MeanSteps)
+		waits = append(waits, float64(res.Stats.GateWaits))
+		s.logf("staleness S=%d: %.1fs, %.1f mean steps, %d gate waits\n",
+			sv, res.Stats.Duration.Seconds(), res.Stats.MeanSteps, res.Stats.GateWaits)
 	}
 	x := make([]float64, len(StalenessValues))
 	for i, sv := range StalenessValues {
 		x[i] = float64(sv)
 	}
+	name := "ec2-8-xlarge"
+	if s.Cluster != nil {
+		name = s.Cluster.Name
+	}
 	return &Figure{
-		Title:  fmt.Sprintf("Staleness sweep: async PageRank on Graph A (%d partitions)", k),
-		XLabel: "Staleness S", YLabel: "Time (s) / mean steps",
+		Title:  fmt.Sprintf("Staleness sweep: async PageRank on Graph A (%d partitions, %s)", k, name),
+		XLabel: "Staleness S", YLabel: "Time (s) / mean steps / gate waits",
 		X: x,
 		XFmt: func(v float64) string {
 			if v < 0 {
@@ -155,7 +215,88 @@ func (s *Suite) StalenessSweep() (*Figure, error) {
 			}
 			return fmt.Sprintf("%.0f", v)
 		},
-		Series: []Series{{Label: "Time", Y: times}, {Label: "MeanSteps", Y: steps}},
+		Series: []Series{{Label: "Time", Y: times}, {Label: "MeanSteps", Y: steps}, {Label: "GateWaits", Y: waits}},
+	}, nil
+}
+
+// StalenessSweepCrossRack is the paper-scale staleness figure: the same
+// sweep on a cluster whose aggregation layer is oversubscribed
+// (CrossRackFraction > 0), where per-publication push traffic and gate
+// waits are material instead of being drowned by the one-time job
+// launch. Run it with -scale 1 to reproduce the EXPERIMENTS.md figure.
+func (s *Suite) StalenessSweepCrossRack() (*Figure, error) {
+	saved := s.Cluster
+	s.Cluster = cluster.EC2CrossRackCluster()
+	defer func() { s.Cluster = saved }()
+	return s.StalenessSweep()
+}
+
+// ParallelWorkerCounts is the cores-scaling axis of the parallel
+// executor figure.
+var ParallelWorkerCounts = []int{1, 2, 4, 8}
+
+// parallelScalingReps reruns each timed configuration and keeps the
+// fastest wall-clock measurement, damping scheduler noise.
+const parallelScalingReps = 3
+
+// FigureParallelScaling measures real wall-clock time — not virtual
+// time — of one async PageRank run under the sequential DES executor
+// and under the parallel executor across ParallelWorkerCounts. The Y
+// values are speedups over the DES baseline; virtual-time results are
+// verified identical across all runs, so the figure isolates pure
+// executor performance on real cores (bounded by GOMAXPROCS).
+func (s *Suite) FigureParallelScaling() (*Figure, error) {
+	g := s.GraphA()
+	ks := s.PartitionCounts()
+	k := ks[len(ks)/2]
+	subs, _, err := s.partitions(g, k)
+	if err != nil {
+		return nil, err
+	}
+	timed := func(opt async.Options) (wallSeconds float64, res *pagerank.AsyncResult, err error) {
+		best := 0.0
+		for rep := 0; rep < parallelScalingReps; rep++ {
+			start := time.Now()
+			res, err = pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return 0, nil, err
+			}
+			if rep == 0 || wall < best {
+				best = wall
+			}
+		}
+		return best, res, nil
+	}
+	desOpt := s.asyncOptions(s.Staleness())
+	desOpt.Executor = async.DES
+	desWall, desRes, err := timed(desOpt)
+	if err != nil {
+		return nil, err
+	}
+	var speedups, wallMs []float64
+	for _, wc := range ParallelWorkerCounts {
+		opt := desOpt
+		opt.Executor = async.Parallel
+		opt.Workers = wc
+		wall, res, err := timed(opt)
+		if err != nil {
+			return nil, err
+		}
+		if res.Stats.Duration != desRes.Stats.Duration || res.Stats.Steps != desRes.Stats.Steps {
+			return nil, fmt.Errorf("harness: parallel executor (workers=%d) diverged from DES: %v/%d vs %v/%d",
+				wc, res.Stats.Duration, res.Stats.Steps, desRes.Stats.Duration, desRes.Stats.Steps)
+		}
+		speedups = append(speedups, desWall/wall)
+		wallMs = append(wallMs, wall*1e3)
+		s.logf("parallel workers=%d: %.1fms wall (DES %.1fms), speedup %.2fx\n",
+			wc, wall*1e3, desWall*1e3, desWall/wall)
+	}
+	return &Figure{
+		Title:  fmt.Sprintf("Parallel executor: wall-clock scaling vs DES (Graph A, %d partitions, S=%d)", k, s.Staleness()),
+		XLabel: "# Executor goroutines", YLabel: "Speedup over DES (wall clock)",
+		X:      intsToFloats(ParallelWorkerCounts),
+		Series: []Series{{Label: "Speedup", Y: speedups}, {Label: "WallMs", Y: wallMs}},
 	}, nil
 }
 
@@ -171,7 +312,8 @@ type WorkloadRow struct {
 // RunWorkloads executes PageRank (Graph A), SSSP (Graph A) and K-Means
 // end to end in the chosen scheduling mode — the common
 // iterate-until-converged entry the CLI's -mode flag drives. mode is
-// "general", "eager" or "async"; staleness applies to async only.
+// "general", "eager" or "async"; staleness applies to async only, and
+// the async executor comes from the suite (Suite.AsyncExecutor).
 func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) {
 	if mode != "general" && mode != "eager" && mode != "async" {
 		return nil, fmt.Errorf("harness: unknown mode %q (want general, eager or async)", mode)
@@ -183,7 +325,7 @@ func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) 
 	if err != nil {
 		return nil, err
 	}
-	opt := async.Options{Staleness: staleness}
+	opt := s.asyncOptions(staleness)
 	var rows []WorkloadRow
 
 	switch mode {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/async"
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/kmeans"
@@ -33,6 +34,14 @@ type Suite struct {
 	// and workload runs: 0 is lockstep, negative is unbounded
 	// free-running. NewSuite initializes it to DefaultStaleness.
 	AsyncStaleness int
+	// AsyncExecutor selects how async runs execute worker steps:
+	// async.DES (default) is the sequential deterministic simulation;
+	// async.Parallel overlaps steps on real goroutines with identical
+	// virtual-time results. The CLI's -parallel flag sets it.
+	AsyncExecutor async.Executor
+	// AsyncWorkers caps the parallel executor's goroutine pool
+	// (0 = GOMAXPROCS). Ignored under async.DES.
+	AsyncWorkers int
 	// MaxSweepPoints caps how many partition counts a sweep visits
 	// (0 = all). Tests trim the sweep so the full-pipeline assertions
 	// run in seconds; benches and the CLI keep the complete axis.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/async"
 )
 
 // suite at heavy scale reduction: full experiment pipeline wiring is
@@ -211,7 +213,7 @@ func TestStalenessSweepRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Series) != 2 || len(f.Series[0].Y) != len(StalenessValues) {
+	if len(f.Series) != 3 || len(f.Series[0].Y) != len(StalenessValues) {
 		t.Fatalf("bad sweep shape: %+v", f.Series)
 	}
 	// Looser staleness means more (cheaper) steps: the mean step count
@@ -219,6 +221,84 @@ func TestStalenessSweepRuns(t *testing.T) {
 	steps := f.Series[1].Y
 	if steps[len(steps)-1] <= steps[0] {
 		t.Fatalf("unbounded staleness did not add steps: %v", steps)
+	}
+}
+
+// TestStalenessSweepCrossRack: the paper-scale variant must run on the
+// cross-rack cluster and restore the suite's cluster afterwards.
+func TestStalenessSweepCrossRack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f, err := s.StalenessSweepCrossRack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Title, "xrack") {
+		t.Fatalf("cross-rack sweep not labelled with its cluster: %q", f.Title)
+	}
+	if s.Cluster.Name != "ec2-8-xlarge" {
+		t.Fatalf("suite cluster not restored: %s", s.Cluster.Name)
+	}
+}
+
+// TestModeSweepWithParallelExecutor: the async series of the comparison
+// figures must be identical whichever executor produced them.
+func TestModeSweepWithParallelExecutor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	des := testSuite()
+	_, desFig, err := des.FiguresAsyncA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := testSuite()
+	par.AsyncExecutor = async.Parallel
+	_, parFig, err := par.FiguresAsyncA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Look the async series up by its label, not position: modeRunners
+	// may grow/reorder without this test silently comparing the wrong
+	// (identical-by-construction) series.
+	asyncSeries := func(f *Figure, label string) []float64 {
+		for _, s := range f.Series {
+			if s.Label == label {
+				return s.Y
+			}
+		}
+		t.Fatalf("figure %q has no series %q", f.Title, label)
+		return nil
+	}
+	label := stalenessLabel(des.Staleness())
+	desY, parY := asyncSeries(desFig, label), asyncSeries(parFig, label)
+	for i := range desY {
+		if desY[i] != parY[i] {
+			t.Fatalf("async time series diverged across executors at %d: %v vs %v", i, desY, parY)
+		}
+	}
+}
+
+// TestFigureParallelScaling: the cores-scaling figure runs, covers the
+// worker axis, and (by construction) verifies executor parity.
+func TestFigureParallelScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f, err := s.FigureParallelScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 || len(f.Series[0].Y) != len(ParallelWorkerCounts) {
+		t.Fatalf("bad scaling figure shape: %+v", f.Series)
+	}
+	for i, sp := range f.Series[0].Y {
+		if sp <= 0 {
+			t.Fatalf("non-positive speedup at %d: %v", i, f.Series[0].Y)
+		}
 	}
 }
 

@@ -144,7 +144,10 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]Accum]) asyn
 // in the fully-asynchronous bounded-staleness mode. Unlike the eager
 // formulation there is no periodic reshuffle: partitions are fixed for
 // the whole run, and the oscillation detector alone guards against
-// partition-induced ping-pong.
+// partition-induced ping-pong. opt selects the staleness bound and the
+// executor; async.Parallel overlaps the per-partition assignment scans
+// (the dominant compute) on real goroutines with virtual-time results
+// identical to the default sequential DES.
 func RunAsync(c *cluster.Cluster, points [][]float64, numParts int, cfg Config, opt async.Options) (*AsyncResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err

@@ -159,7 +159,12 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]float64]) as
 }
 
 // RunAsync executes PageRank in the fully-asynchronous bounded-staleness
-// mode over the given sub-graphs.
+// mode over the given sub-graphs. opt selects the staleness bound and
+// the executor: opt.Executor = async.Parallel runs partition workers on
+// real goroutines (the adapter's per-partition state is touched by at
+// most one step at a time, so it is safe under the parallel executor's
+// contract) and produces virtual-time results identical to the default
+// sequential DES.
 func RunAsync(c *cluster.Cluster, subs []*graph.SubGraph, cfg Config, opt async.Options) (*AsyncResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err

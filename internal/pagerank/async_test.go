@@ -108,6 +108,36 @@ func TestAsyncFasterThanEager(t *testing.T) {
 	}
 }
 
+// TestAsyncParallelExecutorMatchesDES: same staleness sweep on the
+// wall-clock-parallel executor; virtual-time stats and converged ranks
+// must be identical to the sequential DES. Noise (stragglers, failures)
+// stays on so the stochastic draw order is covered too.
+func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
+	noisy := func() *cluster.Cluster { return cluster.New(cluster.EC2LargeCluster()) }
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	for _, s := range []int{0, 2, async.Unbounded} {
+		des, err := RunAsync(noisy(), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.DES})
+		if err != nil {
+			t.Fatalf("S=%d des: %v", s, err)
+		}
+		par, err := RunAsync(noisy(), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.Parallel})
+		if err != nil {
+			t.Fatalf("S=%d parallel: %v", s, err)
+		}
+		if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
+			des.Stats.Publishes != par.Stats.Publishes || des.Stats.GateWaits != par.Stats.GateWaits ||
+			des.Stats.Failures != par.Stats.Failures {
+			t.Fatalf("S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", s, des.Stats, par.Stats)
+		}
+		for u := range des.Ranks {
+			if des.Ranks[u] != par.Ranks[u] {
+				t.Fatalf("S=%d: node %d rank %g (DES) vs %g (parallel)", s, u, des.Ranks[u], par.Ranks[u])
+			}
+		}
+	}
+}
+
 func TestAsyncValidation(t *testing.T) {
 	if _, err := RunAsync(asyncCluster(), nil, DefaultConfig(), async.Options{}); err == nil {
 		t.Fatal("no partitions accepted")

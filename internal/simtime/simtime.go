@@ -10,7 +10,9 @@ package simtime
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Duration is a span of simulated time in seconds.
@@ -41,15 +43,29 @@ func (d Duration) String() string {
 	}
 }
 
-// Clock is a monotonically advancing virtual clock. It is not safe for
-// concurrent use; the engine advances it from a single scheduling
-// goroutine.
+// Clock is a monotonically advancing virtual clock. A single scheduling
+// goroutine owns advancement (Advance/AdvanceTo/Reset are not mutually
+// safe), but Now is safe to call from any goroutine at any time: the
+// parallel async executor runs worker steps on real goroutines while the
+// scheduling loop advances virtual time, and progress reporting must be
+// able to observe the clock without synchronizing with that loop.
+//
+// Per-worker local clocks (each asynchronous worker's own virtual time)
+// are plain Durations owned by the scheduling loop; this type is the
+// shared, concurrently-readable cluster clock they merge into.
 type Clock struct {
-	now Duration
+	bits atomic.Uint64 // Duration as float64 bits; zero value = time zero
 }
 
-// Now returns the current virtual time since the clock's epoch.
-func (c *Clock) Now() Duration { return c.now }
+// Now returns the current virtual time since the clock's epoch. Safe for
+// concurrent use with a single advancing goroutine.
+func (c *Clock) Now() Duration {
+	return Duration(math.Float64frombits(c.bits.Load()))
+}
+
+func (c *Clock) store(t Duration) {
+	c.bits.Store(math.Float64bits(float64(t)))
+}
 
 // Advance moves the clock forward by d. Negative advances panic: virtual
 // time never flows backwards, and a negative d means a cost model bug.
@@ -57,19 +73,19 @@ func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative advance %v", d))
 	}
-	c.now += d
+	c.store(c.Now() + d)
 }
 
 // AdvanceTo moves the clock to t if t is later than now; earlier t is a
 // no-op (joining an event that finished in the past costs nothing).
 func (c *Clock) AdvanceTo(t Duration) {
-	if t > c.now {
-		c.now = t
+	if t > c.Now() {
+		c.store(t)
 	}
 }
 
 // Reset rewinds the clock to zero for reuse across experiment runs.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.store(0) }
 
 // MaxOver returns the maximum of ds, the virtual time at which a barrier
 // over parallel spans completes. An empty slice yields zero.

@@ -211,3 +211,69 @@ func TestEventHeapPopEmptyPanics(t *testing.T) {
 	var h EventHeap
 	h.Pop()
 }
+
+// TestClockConcurrentReads: one goroutine advances while others read —
+// must be race-free (run under -race) and every observed value monotone.
+func TestClockConcurrentReads(t *testing.T) {
+	var c Clock
+	done := make(chan struct{})
+	errs := make(chan string, 4)
+	for r := 0; r < 4; r++ {
+		go func() {
+			var last Duration
+			for {
+				select {
+				case <-done:
+					errs <- ""
+					return
+				default:
+				}
+				now := c.Now()
+				if now < last {
+					errs <- "clock read went backwards"
+					return
+				}
+				last = now
+			}
+		}()
+	}
+	// A binary-exact increment keeps the expected total exact.
+	step := Second / 1024
+	for i := 0; i < 10*1024; i++ {
+		c.Advance(step)
+	}
+	close(done)
+	for r := 0; r < 4; r++ {
+		if msg := <-errs; msg != "" {
+			t.Fatal(msg)
+		}
+	}
+	if c.Now() != 10*Second {
+		t.Fatalf("Now = %v, want 10s", c.Now())
+	}
+}
+
+func TestEventHeapPeekAndScan(t *testing.T) {
+	var h EventHeap
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap reported an event")
+	}
+	h.Push(3*Second, 0)
+	h.Push(1*Second, 1)
+	h.Push(2*Second, 2)
+	ev, ok := h.Peek()
+	if !ok || ev.ID != 1 || ev.At != 1*Second {
+		t.Fatalf("Peek = %+v, want id 1 at 1s", ev)
+	}
+	if h.Len() != 3 {
+		t.Fatal("Peek consumed an event")
+	}
+	seen := map[int]Duration{}
+	h.Scan(func(e Event) { seen[e.ID] = e.At })
+	if len(seen) != 3 || seen[0] != 3*Second || seen[1] != 1*Second || seen[2] != 2*Second {
+		t.Fatalf("Scan saw %v", seen)
+	}
+	if got := h.Pop(); got.ID != 1 {
+		t.Fatalf("heap order disturbed: popped %d", got.ID)
+	}
+}

@@ -137,7 +137,10 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]float64]) as
 }
 
 // RunAsync executes SSSP in the fully-asynchronous bounded-staleness
-// mode over the given weighted sub-graphs.
+// mode over the given weighted sub-graphs. opt selects the staleness
+// bound and the executor; async.Parallel overlaps partition relaxation
+// sweeps on real goroutines with virtual-time results identical to the
+// default sequential DES.
 func RunAsync(c *cluster.Cluster, subs []*graph.SubGraph, cfg Config, opt async.Options) (*AsyncResult, error) {
 	if len(subs) == 0 {
 		return nil, fmt.Errorf("sssp: no partitions")
