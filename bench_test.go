@@ -488,8 +488,11 @@ func BenchmarkAsyncStaleness(b *testing.B) {
 // parallel executor against the sequential DES on the same workloads
 // (run with -cpu 1,4 to see the GOMAXPROCS effect). Simulated results
 // are identical by construction — parity is asserted — so ns/op isolates
-// executor throughput; speculated-frac reports how many steps the
-// conservative lookahead managed to pre-execute.
+// executor throughput; speculated-frac reports how many steps
+// dependency-aware admission managed to pre-execute, and spec-depth the
+// peak number in flight at once (the usable overlap). Run with -benchmem
+// to track the speculated path's allocations against BENCH_PR3.json
+// (scripts/alloc_guard.sh enforces the threshold in CI).
 func BenchmarkAsyncParallel(b *testing.B) {
 	const parallelScale = 4 // heavier per-step compute than benchScale
 	g := graph.MustGenerate(graph.GraphAConfig().Scaled(parallelScale))
@@ -525,6 +528,7 @@ func BenchmarkAsyncParallel(b *testing.B) {
 						ex, res.Stats.Duration, res.Stats.Steps, basePR.Duration, basePR.Steps)
 				}
 				b.ReportMetric(float64(res.Stats.Speculated)/float64(res.Stats.Steps), "speculated-frac")
+				b.ReportMetric(float64(res.Stats.SpecDepth), "spec-depth")
 			}
 		})
 		b.Run("kmeans/"+ex.String(), func(b *testing.B) {
@@ -541,6 +545,7 @@ func BenchmarkAsyncParallel(b *testing.B) {
 						ex, res.Stats.Duration, res.Stats.Steps, baseKM.Duration, baseKM.Steps)
 				}
 				b.ReportMetric(float64(res.Stats.Speculated)/float64(res.Stats.Steps), "speculated-frac")
+				b.ReportMetric(float64(res.Stats.SpecDepth), "spec-depth")
 			}
 		})
 	}

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] <experiment>
+//	asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W]
+//	        [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments:
 //
@@ -20,9 +21,14 @@
 //	                   (CrossRackFraction 0.5); at -scale 1 this is the
 //	                   paper-scale figure where gate waits and push
 //	                   traffic are material
+//	stalenessclue      the staleness sweep on the 460-node CluE cluster
+//	                   model (higher JobOverhead/AsyncSyncOverhead)
 //	parallel           wall-clock cores-scaling figure: async PageRank
 //	                   under the parallel executor at 1..8 goroutines vs
 //	                   the sequential DES (identical virtual-time results)
+//	parallelhpc        the same figure on the HPC preset, whose tiny
+//	                   publish floor is the hard case for the executor's
+//	                   dependency-aware admission
 //	run                run PageRank, SSSP and K-Means end to end in the
 //	                   mode selected by -mode/-staleness
 //	all                everything above except run
@@ -31,6 +37,10 @@
 // executor (-workers caps its goroutines); simulated results are
 // identical to the default sequential DES, only real elapsed time
 // changes.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiment, so the runtime's hot paths can be profiled on full-size
+// workloads outside `go test -bench`.
 //
 // With -scale 1 the workloads match the paper's sizes (280K/100K-node
 // graphs, 200K census points); the default scale 8 runs the whole suite
@@ -41,6 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/async"
 	"repro/internal/harness"
@@ -56,9 +68,11 @@ func main() {
 		"execute async runs on the wall-clock-parallel executor (identical simulated results)")
 	workers := flag.Int("workers", 0,
 		"goroutine cap for the parallel executor; 0 = GOMAXPROCS")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx parallel run all\n")
+		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-cpuprofile F] [-memprofile F] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue parallel parallelhpc run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,8 +94,40 @@ func main() {
 	}
 	s.AsyncWorkers = *workers
 
-	if err := run(s, flag.Arg(0), *mode); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asyncmr: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "asyncmr: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	err := run(s, flag.Arg(0), *mode)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	var memErr error
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr == nil {
+			runtime.GC() // settle the heap so the profile shows live data
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil {
+			memErr = merr
+			fmt.Fprintf(os.Stderr, "asyncmr: memprofile: %v\n", merr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "asyncmr: %v\n", err)
+	}
+	if err != nil || memErr != nil {
 		os.Exit(1)
 	}
 }
@@ -155,8 +201,20 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		f.Render(out)
+	case "stalenessclue":
+		f, err := s.StalenessSweepCluE()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
 	case "parallel":
 		f, err := s.FigureParallelScaling()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
+	case "parallelhpc":
+		f, err := s.FigureParallelScalingHPC()
 		if err != nil {
 			return err
 		}
@@ -212,11 +270,21 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		fsx.Render(out)
+		fsc, err := s.StalenessSweepCluE()
+		if err != nil {
+			return err
+		}
+		fsc.Render(out)
 		fp, err := s.FigureParallelScaling()
 		if err != nil {
 			return err
 		}
 		fp.Render(out)
+		fph, err := s.FigureParallelScalingHPC()
+		if err != nil {
+			return err
+		}
+		fph.Render(out)
 		fs, err := s.Scalability()
 		if err != nil {
 			return err

@@ -11,23 +11,47 @@ import (
 // parallelScheduler is the wall-clock-parallel executor: it drives the
 // same sequential phase loop as the DES (so virtual-time ordering,
 // stochastic draws, and all bookkeeping stay identical), but pre-executes
-// Workload.Step calls on a pool of real goroutines whenever conservative
-// lookahead proves them independent.
+// Workload.Step calls on a pool of real goroutines whenever
+// dependency-aware admission proves them independent.
 //
-// The lookahead rule: let E be the earliest pending event time and L the
-// cluster's AsyncPublishFloor (a lower bound on the virtual latency of
-// any state publication). Every publication produced from now on comes
-// from an event at time >= E and becomes visible at >= E + L. Therefore
-// the snapshots visible at any time t < E + L are already final, and a
-// pending step at such a t may execute early — concurrently with other
-// admitted steps — provided its staleness gate is certain to pass.
+// The admission rule is per-edge, not global. Let L be the cluster's
+// AsyncPublishFloor (a lower bound on the virtual latency of any state
+// publication — every publishing step pays at least
+// minStragglerFactor × (AsyncSyncOverhead + NetLatency)). A pending step
+// of partition p at time t only ever reads the partitions p depends on
+// (Workload.Neighbors(p)), so only *their* future publications can
+// change what it reads. For each such neighbor q, the earliest virtual
+// time a new version of q can become visible is bounded below by
 //
-// The gate is certain to pass when every neighbor's version visible at t
-// already covers the worker's staleness requirement, *ignoring* the
-// idle/settled exemptions: visible versions at a fixed t never change
-// (new publishes land later than t), while the exemptions can flip as
-// in-window events wake idle workers. Steps that rely on an exemption
-// simply fall back to inline execution.
+//	q has a pending event at tq:  tq + L   (q steps no earlier than tq)
+//	q is blocked or idle:          E + L   (q must first be rescheduled
+//	                                        by an event, all of which
+//	                                        are at ≥ E, the frontier)
+//	q was force-stopped:           +∞      (q never publishes again)
+//
+// The step is admitted for speculation iff t < bound(q) for every
+// neighbor q: everything it will read is already final. Partitions with
+// distant or settled dependencies speculate arbitrarily deep — the
+// window no longer collapses on clusters with a tiny publish floor
+// (HPC), which is what made the old global rule (t < E + L for every
+// step) degenerate.
+//
+// Admission is re-evaluated incrementally, not by heap rescans: the core
+// marks a partition dirty whenever its own pending event or one of its
+// dependencies transitions (scheduled, published, gate-blocked, idled,
+// forced — see core.schedule/markReaders), and Admit drains the dirty
+// list. Steps whose admission failed only on the frontier-dependent
+// bound are parked on frontierStalled and retried when the frontier
+// advances. All bounds are monotone in simulation progress, so a step
+// once admitted stays admissible; the version-vector check in Execute
+// still verifies every speculation against the canonical event-ordered
+// read and fails the run loudly on any violation.
+//
+// The staleness gate is evaluated once per admitted step: admission
+// makes the neighbor versions visible at t final, so gate certainty
+// (every requirement covered without leaning on the idle/settled
+// exemptions, which can still flip) is decided at admission time. Steps
+// that rely on an exemption simply fall back to inline execution.
 //
 // Speculation never touches the cluster RNG, the event heap, worker
 // bookkeeping, or the metrics: pricing and publication happen later, on
@@ -38,26 +62,39 @@ import (
 // dominant cost — real user compute — overlapped across cores.
 type parallelScheduler[D any] struct {
 	*core[D]
-	lookahead simtime.Duration
-	tasks     chan func()
-	wg        sync.WaitGroup
-	// futures holds at most one pre-executed step per partition, keyed by
-	// the partition; consumed (and removed) by the next Execute for it.
-	futures map[int]*stepFuture[D]
-	// lastScan is the event-heap frontier at the last dispatch scan; the
-	// scan re-runs only when the frontier advances.
-	lastScan simtime.Duration
-	scanned  bool
-	closed   bool
+	floor simtime.Duration
+	tasks chan *spec[D]
+	wg    sync.WaitGroup
+	// specs[p] is partition p's speculation slot. Each worker has at most
+	// one pending event, hence at most one in-flight speculation; the
+	// slot's input/version buffers are allocated once and reused across
+	// dispatches, keeping the speculated path allocation-free apart from
+	// the per-dispatch done channel.
+	specs []spec[D]
+	// frontierStalled parks partitions whose admission failed on the
+	// frontier-dependent bound; they are re-marked dirty when the
+	// frontier advances past lastFrontier.
+	frontierStalled []int
+	inStalled       []bool
+	lastFrontier    simtime.Duration
+	started         bool
+	outstanding     int // dispatched but not yet consumed speculations
+	closed          bool
 }
 
-// stepFuture is one speculatively executing step.
-type stepFuture[D any] struct {
-	step     int   // the worker step index the speculation ran
-	versions []int // input versions used, parallel to neighbors
+// spec is one partition's (reusable) speculative step slot. The done
+// WaitGroup is reused across dispatches — Add happens on the scheduling
+// goroutine strictly after the previous Wait returned — so a dispatch
+// allocates nothing.
+type spec[D any] struct {
+	p        int
+	active   bool
+	step     int           // the worker step index the speculation ran
+	inputs   []Snapshot[D] // dispatch buffer, parallel to neighbors
+	versions []int         // input versions used, parallel to neighbors
 	out      StepOutcome[D]
 	err      error
-	done     chan struct{}
+	done     sync.WaitGroup
 }
 
 func newParallelScheduler[D any](k *core[D]) *parallelScheduler[D] {
@@ -69,134 +106,187 @@ func newParallelScheduler[D any](k *core[D]) *parallelScheduler[D] {
 		n = len(k.workers)
 	}
 	s := &parallelScheduler[D]{
-		core:      k,
-		lookahead: k.c.AsyncPublishFloor(),
-		// One slot per partition: each worker has at most one pending
-		// event, hence at most one in-flight speculation, so sends to the
-		// task channel never block the scheduling loop.
-		tasks:   make(chan func(), len(k.workers)),
-		futures: make(map[int]*stepFuture[D], len(k.workers)),
+		core:  k,
+		floor: k.c.AsyncPublishFloor(),
+		// One slot per partition: each worker has at most one in-flight
+		// speculation, so sends never block the scheduling loop.
+		tasks:     make(chan *spec[D], len(k.workers)),
+		specs:     make([]spec[D], len(k.workers)),
+		inStalled: make([]bool, len(k.workers)),
+	}
+	for p := range s.specs {
+		deg := len(k.workers[p].neighbors)
+		s.specs[p] = spec[D]{p: p, inputs: make([]Snapshot[D], deg), versions: make([]int, deg)}
+	}
+	// Enable incremental speculation tracking and seed the worklist with
+	// the startup events (scheduled by newCore before track was set).
+	k.track = true
+	for p := range k.workers {
+		k.markDirty(p)
 	}
 	for i := 0; i < n; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for fn := range s.tasks {
-				fn()
+			for sp := range s.tasks {
+				sp.out, sp.err = runStep(s.w, sp.p, sp.step, sp.inputs)
+				sp.done.Done()
 			}
 		}()
 	}
 	return s
 }
 
-// Admit dispatches speculation for the current lookahead window, then
-// pops the next event exactly as the DES does.
+// Admit drains the speculation worklist, then pops the next event
+// exactly as the DES does.
 func (s *parallelScheduler[D]) Admit() (int, bool) {
 	s.speculate()
 	return s.core.Admit()
 }
 
-// speculate scans the pending events once per frontier advance and
-// pre-executes every step the lookahead rule proves independent.
+// speculate re-evaluates admission for every partition marked dirty
+// since the last pass, dispatching each step it can prove independent.
 func (s *parallelScheduler[D]) speculate() {
 	head, ok := s.heap.Peek()
-	if !ok || s.lookahead <= 0 {
+	if !ok || s.floor <= 0 {
 		return
 	}
-	if s.scanned && head.At == s.lastScan {
+	if !s.started || head.At > s.lastFrontier {
+		s.started = true
+		s.lastFrontier = head.At
+		// The frontier moved: parked frontier-bound admissions may pass.
+		for _, p := range s.frontierStalled {
+			s.inStalled[p] = false
+			s.markDirty(p)
+		}
+		s.frontierStalled = s.frontierStalled[:0]
+	}
+	for len(s.dirty) > 0 {
+		p := s.dirty[len(s.dirty)-1]
+		s.dirty = s.dirty[:len(s.dirty)-1]
+		s.inDirty[p] = false
+		s.tryDispatch(p, head.At)
+	}
+}
+
+// tryDispatch applies the dependency-aware admission rule to partition
+// p's pending step and hands it to the pool when it passes.
+func (s *parallelScheduler[D]) tryDispatch(p int, frontier simtime.Duration) {
+	sp := &s.specs[p]
+	if sp.active || !s.pending[p] {
 		return
 	}
-	s.scanned, s.lastScan = true, head.At
-	window := head.At + s.lookahead
-	s.heap.Scan(func(e simtime.Event) {
-		if e.At >= window {
-			return
+	st := s.workers[p]
+	t := s.pendingAt[p]
+	for _, q := range st.neighbors {
+		qs := s.workers[q]
+		if qs.forced {
+			continue // never publishes again
 		}
-		p := e.ID
-		if _, busy := s.futures[p]; busy {
-			return
-		}
-		st := s.workers[p]
-		if s.opt.Staleness >= 0 && !s.gateCertain(st, e.At) {
-			return
-		}
-		inputs := make([]Snapshot[D], len(st.neighbors))
-		versions := make([]int, len(st.neighbors))
-		for j, q := range st.neighbors {
-			snap, ok := s.store.ReadAt(q, e.At)
-			if !ok {
-				return // startup race impossible by construction; run inline
+		if s.pending[q] {
+			if t >= s.pendingAt[q]+s.floor {
+				// q's pending step may publish a version visible at or
+				// before t. q's event precedes t, so q transitions before
+				// p's step runs inline, and every transition re-marks p.
+				return
 			}
-			inputs[j], versions[j] = snap, snap.Version
+		} else if t >= frontier+s.floor {
+			// q is blocked or idle: it can publish no earlier than the
+			// frontier plus the floor. Park p until the frontier moves.
+			if !s.inStalled[p] {
+				s.inStalled[p] = true
+				s.frontierStalled = append(s.frontierStalled, p)
+			}
+			return
 		}
-		fut := &stepFuture[D]{step: st.steps, versions: versions, done: make(chan struct{})}
-		s.futures[p] = fut
-		part, step := p, st.steps
-		s.tasks <- func() {
-			fut.out, fut.err = runStep(s.w, part, step, inputs)
-			close(fut.done)
+	}
+	// Admission passed: every version visible at t is final, so the gate
+	// verdict is final too. A gate that would need the idle/settled
+	// exemption runs inline instead.
+	if s.opt.Staleness >= 0 && !s.gateCertain(st, t) {
+		return
+	}
+	for j, q := range st.neighbors {
+		snap, idx, ok := s.store.ReadAtFrom(q, t, st.cursors[j])
+		if !ok {
+			return // startup race impossible by construction; run inline
 		}
-	})
+		st.cursors[j] = idx
+		sp.inputs[j] = snap
+		sp.versions[j] = snap.Version
+	}
+	sp.active = true
+	sp.step = st.steps
+	sp.err = nil
+	sp.done.Add(1)
+	s.outstanding++
+	if s.outstanding > s.stats.SpecDepth {
+		s.stats.SpecDepth = s.outstanding
+	}
+	s.tasks <- sp
 }
 
 // gateCertain reports whether p's staleness gate at time t passes
-// independently of anything the current window can still change: every
-// neighbor's visible version at t covers the requirement without leaning
-// on the idle/forced exemptions.
+// without leaning on the idle/forced exemptions: admission has made the
+// visible versions final, but the exemptions can still flip as workers
+// settle.
 func (s *parallelScheduler[D]) gateCertain(st *workerState, t simtime.Duration) bool {
 	need := st.version - s.opt.Staleness
 	if need <= 0 {
 		return true
 	}
-	for _, nb := range st.neighbors {
-		snap, ok := s.store.ReadAt(nb, t)
+	for j, nb := range st.neighbors {
+		snap, idx, ok := s.store.ReadAtFrom(nb, t, st.cursors[j])
 		if !ok || snap.Version < need {
 			return false
 		}
+		st.cursors[j] = idx
 	}
 	return true
 }
 
-// Execute consumes p's pre-executed step when one exists, after
-// re-running the canonical input read (consumption and staleness-lead
-// accounting happen in event order, exactly as under DES) and verifying
-// the speculation saw the same input versions. Without a future, the
-// step runs inline.
+// Execute consumes p's pre-executed step when one exists, re-running the
+// canonical input read (consumption and staleness-lead accounting happen
+// in event order, exactly as under DES) and verifying the speculation
+// saw the same input versions. The canonical read stays off the spec's
+// input buffer, which the pool goroutine may still be using. Without a
+// speculation, the step runs inline.
 func (s *parallelScheduler[D]) Execute(p int) (StepOutcome[D], error) {
-	fut, ok := s.futures[p]
-	if !ok {
+	sp := &s.specs[p]
+	if !sp.active {
 		return s.core.Execute(p)
 	}
-	delete(s.futures, p)
+	sp.active = false
+	s.outstanding--
 	st := s.workers[p]
-	inputs, err := s.readInputs(p)
-	if err != nil {
-		return StepOutcome[D]{}, err
+	if sp.step != st.steps {
+		return StepOutcome[D]{}, fmt.Errorf("async: executor bug: partition %d speculated step %d, replaying step %d", p, sp.step, st.steps)
 	}
-	if fut.step != st.steps {
-		return StepOutcome[D]{}, fmt.Errorf("async: executor bug: partition %d speculated step %d, replaying step %d", p, fut.step, st.steps)
-	}
-	for j := range inputs {
-		if inputs[j].Version != fut.versions[j] {
+	for j := range st.neighbors {
+		snap, err := s.consumeInput(p, j)
+		if err != nil {
+			return StepOutcome[D]{}, err
+		}
+		if snap.Version != sp.versions[j] {
 			return StepOutcome[D]{}, fmt.Errorf(
-				"async: conservative lookahead violated: partition %d reads neighbor %d at version %d, speculation used %d",
-				p, st.neighbors[j], inputs[j].Version, fut.versions[j])
+				"async: speculation admission violated: partition %d reads neighbor %d at version %d, speculation used %d",
+				p, st.neighbors[j], snap.Version, sp.versions[j])
 		}
 	}
-	<-fut.done
-	if fut.err != nil {
-		return StepOutcome[D]{}, fut.err
+	sp.done.Wait()
+	if sp.err != nil {
+		return StepOutcome[D]{}, sp.err
 	}
-	s.noteStep(p, fut.out)
+	s.noteStep(p, sp.out)
 	s.stats.Speculated++
-	return fut.out, nil
+	return sp.out, nil
 }
 
 // Finish checks that every speculation was consumed, then finalizes as
 // the core does.
 func (s *parallelScheduler[D]) Finish() (*RunStats, error) {
-	if len(s.futures) != 0 {
-		return nil, fmt.Errorf("async: executor bug: %d speculated steps never consumed", len(s.futures))
+	if s.outstanding != 0 {
+		return nil, fmt.Errorf("async: executor bug: %d speculated steps never consumed", s.outstanding)
 	}
 	return s.core.Finish()
 }

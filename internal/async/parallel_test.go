@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/simtime"
 )
 
 // statsEqual compares every virtual-time field of two runs. Speculated
@@ -25,57 +26,63 @@ func statsEqual(t *testing.T, label string, des, par *RunStats) {
 	}
 }
 
-// noisyCluster enables stragglers and failures so the parity assertions
-// also cover the stochastic draw order.
-func noisyCluster() *cluster.Cluster {
-	cfg := cluster.EC2LargeCluster()
-	cfg.FailureProb = 0.05
-	cfg.StragglerJitter = 0.2
-	return cluster.New(cfg)
+// parityClusters are the cost models the executor parity contract runs
+// on: the noisy cloud testbed (stochastic draw order), the cross-rack
+// variant, and the HPC interconnect whose microsecond publish floor is
+// the hard case for dependency-aware admission.
+func parityClusters() []*cluster.Config {
+	noisy := cluster.EC2LargeCluster()
+	noisy.FailureProb = 0.05
+	noisy.StragglerJitter = 0.2
+	return []*cluster.Config{noisy, cluster.EC2CrossRackCluster(), cluster.HPCCluster()}
 }
 
 // TestParallelMatchesDES is the determinism parity contract: the
 // parallel executor must produce identical virtual-time metrics and
 // identical converged workload state to the sequential DES, at lockstep,
-// intermediate, and unbounded staleness. Run under -race it also proves
-// the speculative pool is data-race-free.
+// intermediate, and unbounded staleness, on every preset the executor
+// targets. Run under -race it also proves the speculative pool is
+// data-race-free.
 func TestParallelMatchesDES(t *testing.T) {
 	hetero := func(p int) int64 { return int64(1e4 * (1 + p)) }
-	for _, s := range []int{0, 2, Unbounded} {
-		run := func(ex Executor) ([]int64, *RunStats) {
-			vals := make([]int64, 6)
-			for p := range vals {
-				// Distinct per-partition values exercise propagation.
-				vals[p] = int64((p*7)%11 + 1)
+	for _, cfg := range parityClusters() {
+		for _, s := range []int{0, 2, Unbounded} {
+			run := func(ex Executor) ([]int64, *RunStats) {
+				vals := make([]int64, 6)
+				for p := range vals {
+					// Distinct per-partition values exercise propagation.
+					vals[p] = int64((p*7)%11 + 1)
+				}
+				w := maxProp(vals)
+				stats, err := Run(cluster.New(cfg), w, Options{Staleness: s, Executor: ex})
+				if err != nil {
+					t.Fatalf("%s S=%d %v: %v", cfg.Name, s, ex, err)
+				}
+				return vals, stats
 			}
-			w := maxProp(vals)
-			stats, err := Run(noisyCluster(), w, Options{Staleness: s, Executor: ex})
-			if err != nil {
-				t.Fatalf("S=%d %v: %v", s, ex, err)
+			desVals, desStats := run(DES)
+			parVals, parStats := run(Parallel)
+			statsEqual(t, cfg.Name+"/maxProp", desStats, parStats)
+			if !reflect.DeepEqual(desVals, parVals) {
+				t.Fatalf("%s S=%d: converged state diverged: %v vs %v", cfg.Name, s, desVals, parVals)
 			}
-			return vals, stats
-		}
-		desVals, desStats := run(DES)
-		parVals, parStats := run(Parallel)
-		statsEqual(t, "maxProp", desStats, parStats)
-		if !reflect.DeepEqual(desVals, parVals) {
-			t.Fatalf("S=%d: converged state diverged: %v vs %v", s, desVals, parVals)
-		}
 
-		runCounter := func(ex Executor) *RunStats {
-			stats, err := Run(noisyCluster(), counter(5, 30, hetero), Options{Staleness: s, Executor: ex})
-			if err != nil {
-				t.Fatalf("S=%d %v: %v", s, ex, err)
+			runCounter := func(ex Executor) *RunStats {
+				stats, err := Run(cluster.New(cfg), counter(5, 30, hetero), Options{Staleness: s, Executor: ex})
+				if err != nil {
+					t.Fatalf("%s S=%d %v: %v", cfg.Name, s, ex, err)
+				}
+				return stats
 			}
-			return stats
+			statsEqual(t, cfg.Name+"/counter", runCounter(DES), runCounter(Parallel))
 		}
-		statsEqual(t, "counter", runCounter(DES), runCounter(Parallel))
 	}
 }
 
-// TestParallelSpeculates: with several same-speed workers, the lookahead
-// window must actually admit concurrent steps — a parallel executor that
-// never speculates is just a slower DES.
+// TestParallelSpeculates: with several same-speed workers, admission
+// must actually dispatch concurrent steps — a parallel executor that
+// never speculates (or only ever pre-executes the imminent head event,
+// SpecDepth 1) is just a slower DES.
 func TestParallelSpeculates(t *testing.T) {
 	uniform := func(int) int64 { return 1e5 }
 	stats, err := Run(quietCluster(), counter(8, 25, uniform), Options{Staleness: 2, Executor: Parallel})
@@ -88,13 +95,42 @@ func TestParallelSpeculates(t *testing.T) {
 	if stats.Speculated > stats.Steps {
 		t.Fatalf("speculated %d of %d steps", stats.Speculated, stats.Steps)
 	}
+	if stats.SpecDepth < 2 {
+		t.Fatalf("speculation depth %d: steps never overlapped", stats.SpecDepth)
+	}
 	// DES never speculates.
 	stats, err = Run(quietCluster(), counter(8, 25, uniform), Options{Staleness: 2, Executor: DES})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Speculated != 0 {
-		t.Fatalf("DES reported %d speculated steps", stats.Speculated)
+	if stats.Speculated != 0 || stats.SpecDepth != 0 {
+		t.Fatalf("DES reported %d speculated steps at depth %d", stats.Speculated, stats.SpecDepth)
+	}
+}
+
+// TestParallelSpeculationDepthHPC pins the tentpole claim of
+// dependency-aware admission: on a cluster whose publish floor is
+// microseconds (HPC preset), the old global-window rule could only ever
+// dispatch the head event (depth ~1), while the per-neighbor rule must
+// keep every independent partition in flight. With a ring of uniform
+// workers and staleness high enough not to gate, every partition's step
+// is independent of its neighbors' pending events one round out, so the
+// depth must reach the partition count on the EC2 *and* the HPC floor.
+func TestParallelSpeculationDepthHPC(t *testing.T) {
+	uniform := func(int) int64 { return 1e6 }
+	depth := func(cfg *cluster.Config) int {
+		stats, err := Run(cluster.New(cfg), counter(8, 25, uniform), Options{Staleness: 4, Executor: Parallel})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		return stats.SpecDepth
+	}
+	hpcCfg := cluster.HPCCluster()
+	if hpc, ec2 := depth(hpcCfg), depth(cluster.EC2LargeCluster()); hpc < ec2/2 || hpc < 4 {
+		t.Fatalf("speculation depth collapsed on the HPC floor: hpc=%d ec2=%d", hpc, ec2)
+	}
+	if floor := cluster.New(hpcCfg).AsyncPublishFloor(); floor > 50*simtime.Microsecond {
+		t.Fatalf("HPC publish floor %v no longer tiny; test premise broken", floor)
 	}
 }
 
@@ -198,6 +234,37 @@ func TestParallelOverlapScales(t *testing.T) {
 	}
 	if parWall*2 >= desWall {
 		t.Fatalf("parallel executor did not overlap steps: DES %v, parallel(4) %v", desWall, parWall)
+	}
+}
+
+// TestParallelOverlapHPC is the wall-clock half of the dependency-aware
+// admission claim: on the HPC preset the publish floor is ~36µs — far
+// below the inter-event spacing — so the old global window admitted at
+// most the head event and the executor degenerated to a serial DES with
+// extra bookkeeping. Per-neighbor admission must keep real overlap: the
+// same blocking-step workload must beat the DES by 2x even with the
+// tiny floor.
+func TestParallelOverlapHPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	run := func(ex Executor, workers int) (time.Duration, *RunStats) {
+		start := time.Now()
+		stats, err := Run(cluster.New(cluster.HPCCluster()), sleepToy(16, 40, 500*time.Microsecond),
+			Options{Staleness: 4, Executor: ex, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), stats
+	}
+	desWall, desStats := run(DES, 0)
+	parWall, parStats := run(Parallel, 4)
+	if desStats.Duration != parStats.Duration || desStats.Steps != parStats.Steps {
+		t.Fatalf("executors diverged: %+v vs %+v", desStats, parStats)
+	}
+	if parWall*2 >= desWall {
+		t.Fatalf("no overlap on the HPC publish floor: DES %v, parallel(4) %v (depth %d)",
+			desWall, parWall, parStats.SpecDepth)
 	}
 }
 

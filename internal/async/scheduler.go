@@ -25,8 +25,10 @@
 // implement it. DES (des.go) runs every step inline on the scheduling
 // goroutine — the original sequential discrete-event mode. Parallel
 // (parallel.go) pre-executes provably independent steps on real
-// goroutines using conservative lookahead, overlapping worker compute on
-// real cores while producing virtual-time results identical to DES.
+// goroutines using dependency-aware admission (only the publications of
+// the partitions a step actually reads can invalidate it), overlapping
+// worker compute on real cores while producing virtual-time results
+// identical to DES.
 package async
 
 import (
@@ -52,8 +54,8 @@ const (
 	// virtual-time order: the original deterministic discrete-event mode.
 	DES Executor = iota
 	// Parallel pre-executes provably independent steps on real goroutines
-	// (conservative lookahead), keeping virtual-time results identical to
-	// DES while wall-clock work overlaps across cores.
+	// (dependency-aware admission), keeping virtual-time results identical
+	// to DES while wall-clock work overlaps across cores.
 	Parallel
 )
 
@@ -110,10 +112,13 @@ type StepOutcome[D any] struct {
 // SSSP, K-Means) implement; the engine is oblivious to what D holds.
 //
 // Step must be a deterministic function of (p, step, inputs) and state
-// that only partition p's own steps mutate. The parallel executor relies
-// on this: it may run Step for different partitions concurrently, and it
-// may run a step before its virtual timestamp is reached, whenever
-// conservative lookahead proves the inputs final.
+// that only partition p's own steps mutate, and it must not retain the
+// inputs slice past the call (the runtime reuses per-partition input
+// buffers; the snapshots' Data values stay immutable and may be kept).
+// The parallel executor relies on this: it may run Step for different
+// partitions concurrently, and it may run a step long before its
+// virtual timestamp is reached, whenever dependency-aware admission
+// proves the inputs final.
 type Workload[D any] interface {
 	// Parts returns the number of partitions (= workers).
 	Parts() int
@@ -161,11 +166,21 @@ type RunStats struct {
 	Duration simtime.Duration
 	// PerWorkerSteps records each worker's step count.
 	PerWorkerSteps []int
-	// Speculated counts steps satisfied by conservative pre-execution on
-	// the parallel executor (always 0 under DES). It is an observability
-	// counter, not a virtual-time quantity: two executors producing the
-	// same run report the same stats apart from this field.
+	// Speculated counts steps satisfied by pre-execution on the parallel
+	// executor (always 0 under DES). It is an observability counter, not
+	// a virtual-time quantity: two executors producing the same run
+	// report the same stats apart from this field and SpecDepth.
 	Speculated int64
+	// SpecDepth is the peak number of speculated steps in flight at
+	// once — the usable width of the admission window, and the upper
+	// bound on wall-clock overlap. A parallel run whose SpecDepth stays
+	// at 1 only ever pre-executes the imminent head event and degenerates
+	// to a slower DES; dependency-aware admission keeps it near the
+	// worker count even when the cluster's publish floor is tiny (HPC).
+	// Deterministic for a fixed configuration (dispatch and consumption
+	// both happen on the scheduling goroutine in event order), and
+	// independent of the pool size. Always 0 under DES.
+	SpecDepth int
 }
 
 // Scheduler is the mode-agnostic scheduling contract of the asynchronous
@@ -265,8 +280,13 @@ type workerState struct {
 	steps     int
 	version   int // publication counter; version 0 is the initial state
 	neighbors []int
-	readers   []int // partitions that read this one
+	readers   []int // partitions that read this one (reverse-dependency index)
 	consumed  []int // last version consumed, parallel to neighbors
+	// cursors caches, per neighbor, the history index of the last
+	// snapshot this worker read (Store.ReadAtFrom). Worker clocks only
+	// advance, so the cached cursor turns every visibility lookup into an
+	// O(1) amortized forward scan instead of a binary search.
+	cursors   []int
 	idle      bool
 	forced    bool // stopped by MaxSteps
 	quiescent bool // last outcome's report
@@ -291,6 +311,29 @@ type core[D any] struct {
 	stats    *RunStats
 	blocked  int
 	totalOps int64
+
+	// inbuf[p] is partition p's reusable snapshot buffer for inline step
+	// execution; allocated once at setup so the hot loop is allocation
+	// free. Step implementations must not retain it past the call.
+	inbuf [][]Snapshot[D]
+
+	// Pending-event mirror: each worker has at most one event in the
+	// heap; pending[p]/pendingAt[p] track it so the parallel executor's
+	// dependency-aware admission can bound a neighbor's earliest possible
+	// publication without scanning the heap.
+	pending   []bool
+	pendingAt []simtime.Duration
+
+	// Speculation worklist, maintained only when track is set (parallel
+	// executor). A partition is marked dirty when its own pending event
+	// changes or when a partition it reads transitions (re-scheduled,
+	// published, blocked, idled, forced) — exactly the occasions its
+	// admission verdict can improve. The executor drains the list
+	// incrementally instead of rescanning the whole event heap on every
+	// frontier move.
+	track   bool
+	dirty   []int
+	inDirty []bool
 }
 
 // newCore validates the workload and performs startup: version 0 of
@@ -308,14 +351,18 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 		maxSteps = DefaultMaxSteps
 	}
 	k := &core[D]{
-		c:        c,
-		cfg:      c.Config(),
-		w:        w,
-		opt:      opt,
-		maxSteps: maxSteps,
-		store:    NewStore[D](n),
-		workers:  make([]*workerState, n),
-		stats:    &RunStats{Converged: true},
+		c:         c,
+		cfg:       c.Config(),
+		w:         w,
+		opt:       opt,
+		maxSteps:  maxSteps,
+		store:     NewStore[D](n),
+		workers:   make([]*workerState, n),
+		stats:     &RunStats{Converged: true},
+		inbuf:     make([][]Snapshot[D], n),
+		pending:   make([]bool, n),
+		pendingAt: make([]simtime.Duration, n),
+		inDirty:   make([]bool, n),
 	}
 	for p := 0; p < n; p++ {
 		nbrs := w.Neighbors(p)
@@ -327,7 +374,9 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 		k.workers[p] = &workerState{
 			neighbors: nbrs,
 			consumed:  make([]int, len(nbrs)),
+			cursors:   make([]int, len(nbrs)),
 		}
+		k.inbuf[p] = make([]Snapshot[D], len(nbrs))
 		for j := range k.workers[p].consumed {
 			k.workers[p].consumed[j] = -1
 		}
@@ -345,9 +394,44 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 		start := k.cfg.TaskOverhead + c.DFSReadCost(bytes, true)
 		start = simtime.Duration(float64(start) * c.StragglerFactor())
 		st.clock = k.cfg.JobOverhead + start
-		k.heap.Push(st.clock, p)
+		k.schedule(p, st.clock)
 	}
 	return k, nil
+}
+
+// schedule queues partition p's next event and keeps the pending-event
+// mirror coherent. Under the parallel executor it also marks p and p's
+// readers for (re-)speculation: a fresh event makes p itself a
+// speculation candidate, and it moves p's earliest-possible-publish
+// bound, which can unblock the admission of every partition reading p.
+func (k *core[D]) schedule(p int, at simtime.Duration) {
+	k.heap.Push(at, p)
+	k.pending[p] = true
+	k.pendingAt[p] = at
+	if k.track {
+		k.markDirty(p)
+		k.markReaders(p)
+	}
+}
+
+// markDirty enqueues p for the executor's next speculation pass.
+func (k *core[D]) markDirty(p int) {
+	if !k.inDirty[p] {
+		k.inDirty[p] = true
+		k.dirty = append(k.dirty, p)
+	}
+}
+
+// markReaders marks every partition that reads p — the reverse edge of
+// the dependency graph — because a transition of p (scheduled, blocked,
+// idled, forced) changes the admission bound those readers compute.
+func (k *core[D]) markReaders(p int) {
+	if !k.track {
+		return
+	}
+	for _, r := range k.workers[p].readers {
+		k.markDirty(r)
+	}
 }
 
 // Admit pops the next due event; see Scheduler.
@@ -356,6 +440,7 @@ func (k *core[D]) Admit() (int, bool) {
 		return -1, false
 	}
 	ev := k.heap.Pop()
+	k.pending[ev.ID] = false
 	st := k.workers[ev.ID]
 	if st.clock < ev.At {
 		st.clock = ev.At
@@ -371,47 +456,62 @@ func (k *core[D]) Gate(p int) bool {
 		return true
 	}
 	st := k.workers[p]
-	q, wakeAt, wait := gateCheck(k.store, k.workers, st, st.clock, k.opt.Staleness)
+	q, wakeAt, wait := k.gateCheck(st, st.clock)
 	if !wait {
 		return true
 	}
 	k.stats.GateWaits++
 	if q >= 0 {
 		// The needed version does not exist yet: sleep until q publishes
-		// or goes idle.
+		// or goes idle. p loses its pending event without a re-push, so
+		// its readers' admission bounds fall back to the frontier rule.
 		k.workers[q].gateWaiters = append(k.workers[q].gateWaiters, p)
 		k.blocked++
+		k.markReaders(p)
 	} else {
 		// The needed version exists but becomes visible only at wakeAt:
 		// wait for it in virtual time.
-		k.heap.Push(wakeAt, p)
+		k.schedule(p, wakeAt)
 	}
 	return false
 }
 
-// readInputs reads the snapshots visible at p's clock and records
-// consumption and staleness-lead accounting.
-func (k *core[D]) readInputs(p int) ([]Snapshot[D], error) {
+// consumeInput performs the canonical, event-ordered read of partition
+// p's j-th neighbor at p's clock: it advances the read cursor, records
+// the consumed version, and accounts the staleness lead.
+func (k *core[D]) consumeInput(p, j int) (Snapshot[D], error) {
 	st := k.workers[p]
-	t := st.clock
-	inputs := make([]Snapshot[D], len(st.neighbors))
-	for j, q := range st.neighbors {
-		snap, ok := k.store.ReadAt(q, t)
-		if !ok {
-			return nil, fmt.Errorf("async: partition %d invisible to %d at %v", q, p, t)
-		}
-		inputs[j] = snap
-		st.consumed[j] = snap.Version
-		// Lead is only meaningful against active neighbors: an idle
-		// partition's newest version IS its final state, so reading it at
-		// any age reads the freshest truth.
-		if !k.workers[q].idle && !k.workers[q].forced {
-			if lead := st.version - snap.Version; lead > k.stats.MaxLead {
-				k.stats.MaxLead = lead
-			}
+	q := st.neighbors[j]
+	snap, idx, ok := k.store.ReadAtFrom(q, st.clock, st.cursors[j])
+	if !ok {
+		return snap, fmt.Errorf("async: partition %d invisible to %d at %v", q, p, st.clock)
+	}
+	st.cursors[j] = idx
+	st.consumed[j] = snap.Version
+	// Lead is only meaningful against active neighbors: an idle
+	// partition's newest version IS its final state, so reading it at
+	// any age reads the freshest truth.
+	if !k.workers[q].idle && !k.workers[q].forced {
+		if lead := st.version - snap.Version; lead > k.stats.MaxLead {
+			k.stats.MaxLead = lead
 		}
 	}
-	return inputs, nil
+	return snap, nil
+}
+
+// readInputs reads the snapshots visible at p's clock into p's reusable
+// input buffer and records consumption and staleness-lead accounting.
+func (k *core[D]) readInputs(p int) ([]Snapshot[D], error) {
+	st := k.workers[p]
+	buf := k.inbuf[p]
+	for j := range st.neighbors {
+		snap, err := k.consumeInput(p, j)
+		if err != nil {
+			return nil, err
+		}
+		buf[j] = snap
+	}
+	return buf, nil
 }
 
 // noteStep records a completed step in the worker and run counters.
@@ -475,7 +575,7 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 			if st.clock > wake {
 				wake = st.clock
 			}
-			k.heap.Push(wake, r)
+			k.schedule(r, wake)
 		}
 	}
 	k.blocked -= k.releaseGateWaiters(st)
@@ -490,8 +590,11 @@ func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 		st.forced = true
 		k.stats.Converged = false
 		k.blocked -= k.releaseGateWaiters(st)
+		// A forced partition never publishes again: readers' admission
+		// bounds against it become vacuous.
+		k.markReaders(p)
 	case !out.Quiescent:
-		k.heap.Push(st.clock, p)
+		k.schedule(p, st.clock)
 	default:
 		if at, unseen := firstUnseen(k.store, st); unseen {
 			// Fresher input already exists; consume it once it is visible
@@ -499,10 +602,13 @@ func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 			if at < st.clock {
 				at = st.clock
 			}
-			k.heap.Push(at, p)
+			k.schedule(p, at)
 		} else {
 			st.idle = true
 			k.blocked -= k.releaseGateWaiters(st)
+			// p now has no pending event; its readers' bounds fall back
+			// to the frontier rule and grow as the frontier advances.
+			k.markReaders(p)
 		}
 	}
 }
@@ -551,7 +657,7 @@ func (k *core[D]) releaseGateWaiters(st *workerState) int {
 		if st.clock > wake {
 			wake = st.clock
 		}
-		k.heap.Push(wake, r)
+		k.schedule(r, wake)
 	}
 	st.gateWaiters = st.gateWaiters[:0]
 	return released
@@ -561,24 +667,30 @@ func (k *core[D]) releaseGateWaiters(st *workerState) int {
 // means the step may run. Otherwise either q >= 0 (the needed version of
 // q does not exist yet; block until q publishes or idles) or q = -1 and
 // wakeAt holds the virtual time the needed version becomes visible.
-func gateCheck[D any](store *Store[D], workers []*workerState, st *workerState, t simtime.Duration, s int) (q int, wakeAt simtime.Duration, wait bool) {
-	for _, nb := range st.neighbors {
-		need := st.version - s
-		if need <= 0 {
-			continue
-		}
-		other := workers[nb]
+// Reads go through the per-neighbor cursors: gate reads and input reads
+// for one worker happen at the same non-decreasing clock, so they share
+// the cursor cache.
+func (k *core[D]) gateCheck(st *workerState, t simtime.Duration) (q int, wakeAt simtime.Duration, wait bool) {
+	need := st.version - k.opt.Staleness
+	if need <= 0 {
+		return -1, 0, false
+	}
+	for j, nb := range st.neighbors {
+		other := k.workers[nb]
 		if other.idle || other.forced {
 			continue // settled neighbors impose no gate
 		}
-		snap, ok := store.ReadAt(nb, t)
-		if ok && snap.Version >= need {
-			continue
+		snap, idx, ok := k.store.ReadAtFrom(nb, t, st.cursors[j])
+		if ok {
+			st.cursors[j] = idx
+			if snap.Version >= need {
+				continue
+			}
 		}
-		if store.Latest(nb) >= need {
+		if k.store.Latest(nb) >= need {
 			// Published but not yet visible: the publication time is in
 			// t's virtual future; wait exactly until then.
-			return -1, store.WaitVersion(nb, need).At, true
+			return -1, k.store.WaitVersion(nb, need).At, true
 		}
 		return nb, 0, true
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simtime"
 )
@@ -22,6 +23,19 @@ type Snapshot[D any] struct {
 	Data D
 }
 
+// shard is one partition's slice of the store: an append-only version
+// history behind an atomically swapped slice header. Writers serialize
+// on mu; readers never take it. Publishing appends in place (possibly
+// growing the backing array) and then atomically stores the new header:
+// a version's element is never rewritten once any published header
+// includes it, so lock-free readers holding any header only ever see
+// immutable prefixes.
+type shard[D any] struct {
+	mu   sync.Mutex
+	cond *sync.Cond // signaled on publish, for WaitVersion's slow path
+	hist atomic.Pointer[[]Snapshot[D]]
+}
+
 // Store is the versioned shared state store at the center of the
 // fully-asynchronous runtime: each partition appends immutable versions
 // of its boundary state; readers fetch the newest version visible at
@@ -30,39 +44,53 @@ type Snapshot[D any] struct {
 // bounded-staleness gate lives in the engine, which decides when a
 // worker may advance.
 //
-// The store is safe for concurrent use: the deterministic virtual-time
-// engine is one client, and tests hammer it from many goroutines under
-// the race detector to keep it honest as a standalone component.
+// The store is sharded per partition: each shard has its own writer
+// mutex and an atomically readable history, so Latest/Read/ReadAt are
+// lock-free and publications to different partitions never contend.
+// It is safe for concurrent use: the deterministic virtual-time engine
+// is one client, and tests hammer it from many goroutines under the
+// race detector to keep it honest as a standalone component.
 type Store[D any] struct {
-	mu   sync.RWMutex
-	cond *sync.Cond
-	// parts[p] is partition p's append-only version history, ascending in
-	// both Version and At.
-	parts [][]Snapshot[D]
+	shards []shard[D]
 }
 
 // NewStore returns an empty store for n partitions. Every partition must
 // publish its version 0 (the initial state) before any reader runs.
 func NewStore[D any](n int) *Store[D] {
-	s := &Store[D]{parts: make([][]Snapshot[D], n)}
-	s.cond = sync.NewCond(s.mu.RLocker())
+	s := &Store[D]{shards: make([]shard[D], n)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.cond = sync.NewCond(&sh.mu)
+	}
 	return s
 }
 
 // NumParts returns the number of partitions.
-func (s *Store[D]) NumParts() int { return len(s.parts) }
+func (s *Store[D]) NumParts() int { return len(s.shards) }
+
+// history returns partition p's current version history without locking.
+func (s *Store[D]) history(p int) []Snapshot[D] {
+	if hp := s.shards[p].hist.Load(); hp != nil {
+		return *hp
+	}
+	return nil
+}
 
 // Publish appends a new version of partition p, visible at virtual time
 // at. Versions must be dense (latest+1, starting at 0) and publication
 // times non-decreasing per partition; violations are engine bugs and
 // return errors rather than corrupting history.
 func (s *Store[D]) Publish(p, version int, at simtime.Duration, data D) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p < 0 || p >= len(s.parts) {
-		return fmt.Errorf("async: publish to partition %d of %d", p, len(s.parts))
+	if p < 0 || p >= len(s.shards) {
+		return fmt.Errorf("async: publish to partition %d of %d", p, len(s.shards))
 	}
-	hist := s.parts[p]
+	sh := &s.shards[p]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var hist []Snapshot[D]
+	if hp := sh.hist.Load(); hp != nil {
+		hist = *hp
+	}
 	if version != len(hist) {
 		return fmt.Errorf("async: partition %d published version %d, want %d", p, version, len(hist))
 	}
@@ -70,41 +98,74 @@ func (s *Store[D]) Publish(p, version int, at simtime.Duration, data D) error {
 		return fmt.Errorf("async: partition %d published version %d at %v, before version %d at %v",
 			p, version, at, len(hist)-1, hist[len(hist)-1].At)
 	}
-	s.parts[p] = append(hist, Snapshot[D]{Part: p, Version: version, At: at, Data: data})
-	s.cond.Broadcast()
+	hist = append(hist, Snapshot[D]{Part: p, Version: version, At: at, Data: data})
+	sh.hist.Store(&hist)
+	sh.cond.Broadcast()
 	return nil
 }
 
 // Latest returns partition p's newest published version, or -1 if p has
-// not published yet.
+// not published yet. Lock-free.
 func (s *Store[D]) Latest(p int) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.parts[p]) - 1
+	return len(s.history(p)) - 1
 }
 
 // ReadAt returns partition p's newest snapshot visible at virtual time
 // at. ok is false when p has published nothing by then (only possible
-// before its version 0).
+// before its version 0). Lock-free; binary search over the history.
 func (s *Store[D]) ReadAt(p int, at simtime.Duration) (snap Snapshot[D], ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	hist := s.parts[p]
-	// Binary search for the last snapshot with At <= at; history is
-	// sorted by At.
-	i := sort.Search(len(hist), func(i int) bool { return hist[i].At > at }) - 1
+	hist := s.history(p)
+	i := visibleIndex(hist, at)
 	if i < 0 {
 		return snap, false
 	}
 	return hist[i], true
 }
 
+// ReadAtFrom is ReadAt with a reader-supplied cursor: hint is the index
+// the same reader's previous call returned. When the reader's times are
+// non-decreasing — every engine reader's are, since worker clocks only
+// advance — the scan from the hint is O(1) amortized instead of the
+// binary search's O(log n). A hint that overshoots (non-monotone caller)
+// falls back to the binary search, so any hint in [0, len) is merely a
+// performance input, never a correctness one. Returns the snapshot, the
+// index to pass as the next hint, and ok=false only when nothing is
+// visible at `at`.
+func (s *Store[D]) ReadAtFrom(p int, at simtime.Duration, hint int) (snap Snapshot[D], idx int, ok bool) {
+	hist := s.history(p)
+	if len(hist) == 0 {
+		return snap, 0, false
+	}
+	i := hint
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(hist) {
+		i = len(hist) - 1
+	}
+	if hist[i].At > at {
+		i = visibleIndex(hist, at)
+		if i < 0 {
+			return snap, 0, false
+		}
+		return hist[i], i, true
+	}
+	for i+1 < len(hist) && hist[i+1].At <= at {
+		i++
+	}
+	return hist[i], i, true
+}
+
+// visibleIndex returns the index of the last snapshot with At <= at, or
+// -1; history is sorted by At.
+func visibleIndex[D any](hist []Snapshot[D], at simtime.Duration) int {
+	return sort.Search(len(hist), func(i int) bool { return hist[i].At > at }) - 1
+}
+
 // Read returns partition p's newest snapshot regardless of time. ok is
-// false when p has never published.
+// false when p has never published. Lock-free.
 func (s *Store[D]) Read(p int) (snap Snapshot[D], ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	hist := s.parts[p]
+	hist := s.history(p)
 	if len(hist) == 0 {
 		return snap, false
 	}
@@ -114,12 +175,17 @@ func (s *Store[D]) Read(p int) (snap Snapshot[D], ok bool) {
 // WaitVersion blocks until partition p has published at least version v,
 // then returns that version's snapshot (not a newer one): the blocking
 // read a free-running worker performs when the staleness bound forces it
-// to observe a laggard's progress.
+// to observe a laggard's progress. The fast path is lock-free; only a
+// reader that genuinely has to wait touches the shard mutex.
 func (s *Store[D]) WaitVersion(p, v int) Snapshot[D] {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for len(s.parts[p]) <= v {
-		s.cond.Wait()
+	if hist := s.history(p); v < len(hist) {
+		return hist[v]
 	}
-	return s.parts[p][v]
+	sh := &s.shards[p]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for len(s.history(p)) <= v {
+		sh.cond.Wait()
+	}
+	return s.history(p)[v]
 }

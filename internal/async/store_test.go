@@ -67,6 +67,151 @@ func TestStoreRejectsBadPublishes(t *testing.T) {
 	}
 }
 
+// TestStoreCursorAgreement: ReadAtFrom must agree with the binary-search
+// ReadAt for every hint, including overshooting and out-of-range ones —
+// the cursor is a performance input, never a correctness one.
+func TestStoreCursorAgreement(t *testing.T) {
+	s := NewStore[int](1)
+	// Irregular spacing, including consecutive equal publication times.
+	ats := []simtime.Duration{0, 1, 1, 3, 7, 7, 7, 20, 21, 50}
+	for v, at := range ats {
+		if err := s.Publish(0, v, at*simtime.Second, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for at := simtime.Duration(-1); at <= 55; at++ {
+		want, wantOK := s.ReadAt(0, at*simtime.Second)
+		for hint := -2; hint <= len(ats)+1; hint++ {
+			got, idx, ok := s.ReadAtFrom(0, at*simtime.Second, hint)
+			if ok != wantOK {
+				t.Fatalf("at=%v hint=%d: ok=%v, ReadAt ok=%v", at, hint, ok, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			if got.Version != want.Version || got.At != want.At || got.Data != want.Data {
+				t.Fatalf("at=%v hint=%d: got v%d, ReadAt v%d", at, hint, got.Version, want.Version)
+			}
+			if idx != got.Version {
+				t.Fatalf("at=%v hint=%d: returned cursor %d for v%d", at, hint, idx, got.Version)
+			}
+		}
+	}
+}
+
+// TestStoreShardedProperty is the property test for the sharded store:
+// per-partition publishers race against three reader populations —
+// monotone cursor readers (the engine's access pattern), random-hint
+// readers checking cursor/binary-search agreement, and blocking version
+// waiters — while the test asserts visibility monotonicity (a reader
+// moving forward in time never sees Version or At go backwards) and
+// payload consistency. Run with -race (the CI workflow does).
+func TestStoreShardedProperty(t *testing.T) {
+	const (
+		parts    = 6
+		versions = 300
+	)
+	s := NewStore[int](parts)
+	var wg sync.WaitGroup
+
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for v := 0; v < versions; v++ {
+				// Distinct per-partition spacing; occasional equal times.
+				at := simtime.Duration(v-v%3) * simtime.Duration(p+1) * simtime.Millisecond
+				if err := s.Publish(p, v, at, p*10000+v); err != nil {
+					t.Errorf("publish p%d v%d: %v", p, v, err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Monotone cursor readers: advance a per-partition clock and cursor
+	// exactly like an engine worker; visibility must be monotone and the
+	// cursor result must match the searching read.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cursors := make([]int, parts)
+			lastV := make([]int, parts)
+			lastAt := make([]simtime.Duration, parts)
+			for i := range lastV {
+				lastV[i] = -1
+			}
+			for at := simtime.Duration(0); at < versions; at += simtime.Duration(r + 1) {
+				for p := 0; p < parts; p++ {
+					vt := at * simtime.Duration(p+1) * simtime.Millisecond
+					snap, idx, ok := s.ReadAtFrom(p, vt, cursors[p])
+					if !ok {
+						continue // p's version 0 not published yet
+					}
+					cursors[p] = idx
+					if snap.Version < lastV[p] || snap.At < lastAt[p] {
+						t.Errorf("visibility regressed on p%d: v%d@%v after v%d@%v",
+							p, snap.Version, snap.At, lastV[p], lastAt[p])
+					}
+					lastV[p], lastAt[p] = snap.Version, snap.At
+					if snap.Data != p*10000+snap.Version {
+						t.Errorf("torn read p%d: v%d data %d", p, snap.Version, snap.Data)
+					}
+					if chk, ok2 := s.ReadAt(p, vt); !ok2 || chk.Version != snap.Version {
+						t.Errorf("cursor/binary-search disagree on p%d at %v: v%d vs v%d (ok=%v)",
+							p, vt, snap.Version, chk.Version, ok2)
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Random-hint readers: any hint must reproduce the searching read.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rnd := uint32(seed*2654435761 + 1)
+			for i := 0; i < 4000; i++ {
+				rnd = rnd*1664525 + 1013904223
+				p := int(rnd>>8) % parts
+				vt := simtime.Duration(int(rnd>>16)%versions) * simtime.Millisecond * simtime.Duration(p+1)
+				hint := int(rnd>>4)%(versions+2) - 1
+				want, wantOK := s.ReadAt(p, vt)
+				got, _, ok := s.ReadAtFrom(p, vt, hint)
+				// The store may have grown between the two reads; only a
+				// same-version comparison is meaningful, and growth only
+				// moves visibility forward.
+				if wantOK && !ok {
+					t.Errorf("p%d at %v: hinted read lost a visible version", p, vt)
+				}
+				if wantOK && ok && got.Version < want.Version {
+					t.Errorf("p%d at %v hint %d: hinted read went backwards: v%d < v%d",
+						p, vt, hint, got.Version, want.Version)
+				}
+			}
+		}(r)
+	}
+
+	// Blocking waiters: WaitVersion returns exactly the requested version.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for p := 0; p < parts; p++ {
+				for _, v := range []int{0, versions / 2, versions - 1} {
+					snap := s.WaitVersion(p, v)
+					if snap.Version != v || snap.Data != p*10000+v {
+						t.Errorf("WaitVersion(p%d, v%d) = v%d data %d", p, v, snap.Version, snap.Data)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
 // TestStoreConcurrentAccess is the race-detector workout for the shared
 // store: writers append monotone version chains per partition while
 // readers mix latest reads, time-bounded reads, and blocking version

@@ -187,10 +187,11 @@ func (c *Cluster) AsyncPushCost(bytes int64) simtime.Duration {
 // step pays at least AsyncPushCost(0) = AsyncSyncOverhead + NetLatency,
 // scaled by the worst-case straggler speedup (minStragglerFactor — a
 // "straggler" can also be a task that runs faster than nominal). This
-// bound is what makes conservative-lookahead parallel execution sound:
-// no pending event can make state visible earlier than its own timestamp
-// plus this floor, so events closer together than the floor are
-// independent and may execute concurrently.
+// bound is what makes the parallel executor's dependency-aware
+// admission sound: a pending event at time t cannot make state visible
+// earlier than t plus this floor, so a step is independent of every
+// dependency whose next event lies closer to it than the floor — and of
+// everything it does not read at all — and may execute concurrently.
 func (c *Cluster) AsyncPublishFloor() simtime.Duration {
 	return simtime.Duration(float64(c.cfg.AsyncSyncOverhead+c.cfg.NetLatency) * minStragglerFactor)
 }

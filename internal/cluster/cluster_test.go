@@ -273,7 +273,7 @@ func TestAsyncSyncOverheadInPresets(t *testing.T) {
 	}
 }
 
-// TestAsyncPublishFloor: the conservative-lookahead bound must be
+// TestAsyncPublishFloor: the executor's per-edge admission bound must be
 // positive on every preset and never exceed the cost of an actual
 // publication, under any straggler draw.
 func TestAsyncPublishFloor(t *testing.T) {
@@ -282,7 +282,7 @@ func TestAsyncPublishFloor(t *testing.T) {
 		c := New(cfg)
 		floor := c.AsyncPublishFloor()
 		if floor <= 0 {
-			t.Errorf("preset %s has zero publish floor: no lookahead, no parallelism", cfg.Name)
+			t.Errorf("preset %s has zero publish floor: no admission window, no parallelism", cfg.Name)
 		}
 		for i := 0; i < 1000; i++ {
 			d := simtime.Duration(float64(c.AsyncPushCost(0)) * c.StragglerFactor())

@@ -28,6 +28,14 @@ func (s *Suite) asyncCluster() *cluster.Cluster {
 	return cluster.New(cfg)
 }
 
+// clusterName names the suite's simulated platform for figure titles.
+func (s *Suite) clusterName() string {
+	if s.Cluster != nil {
+		return s.Cluster.Name
+	}
+	return cluster.EC2LargeCluster().Name
+}
+
 // asyncOptions assembles the suite's async run options: staleness bound
 // plus the executor selection (DES by default; the CLI's -parallel flag
 // switches to the wall-clock-parallel executor, whose virtual-time
@@ -201,12 +209,8 @@ func (s *Suite) StalenessSweep() (*Figure, error) {
 	for i, sv := range StalenessValues {
 		x[i] = float64(sv)
 	}
-	name := "ec2-8-xlarge"
-	if s.Cluster != nil {
-		name = s.Cluster.Name
-	}
 	return &Figure{
-		Title:  fmt.Sprintf("Staleness sweep: async PageRank on Graph A (%d partitions, %s)", k, name),
+		Title:  fmt.Sprintf("Staleness sweep: async PageRank on Graph A (%d partitions, %s)", k, s.clusterName()),
 		XLabel: "Staleness S", YLabel: "Time (s) / mean steps / gate waits",
 		X: x,
 		XFmt: func(v float64) string {
@@ -231,6 +235,19 @@ func (s *Suite) StalenessSweepCrossRack() (*Figure, error) {
 	return s.StalenessSweep()
 }
 
+// StalenessSweepCluE runs the staleness sweep on the 460-node CluE
+// cluster model (§VI): higher JobOverhead and AsyncSyncOverhead move the
+// whole time axis further than the EC2 cross-rack figure, and the
+// heavier per-publication cost makes tight staleness bounds pay a larger
+// gate-wait toll. Run with -scale 1 to reproduce the EXPERIMENTS.md
+// figure.
+func (s *Suite) StalenessSweepCluE() (*Figure, error) {
+	saved := s.Cluster
+	s.Cluster = cluster.CluECluster()
+	defer func() { s.Cluster = saved }()
+	return s.StalenessSweep()
+}
+
 // ParallelWorkerCounts is the cores-scaling axis of the parallel
 // executor figure.
 var ParallelWorkerCounts = []int{1, 2, 4, 8}
@@ -244,7 +261,11 @@ const parallelScalingReps = 3
 // and under the parallel executor across ParallelWorkerCounts. The Y
 // values are speedups over the DES baseline; virtual-time results are
 // verified identical across all runs, so the figure isolates pure
-// executor performance on real cores (bounded by GOMAXPROCS).
+// executor performance on real cores (bounded by GOMAXPROCS). The
+// SpecFrac and SpecDepth series report how much of the run the
+// dependency-aware admission pre-executed and how many steps were in
+// flight at the peak — the usable overlap, identical across worker
+// counts by construction.
 func (s *Suite) FigureParallelScaling() (*Figure, error) {
 	g := s.GraphA()
 	ks := s.PartitionCounts()
@@ -274,7 +295,7 @@ func (s *Suite) FigureParallelScaling() (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	var speedups, wallMs []float64
+	var speedups, wallMs, specFrac, specDepth []float64
 	for _, wc := range ParallelWorkerCounts {
 		opt := desOpt
 		opt.Executor = async.Parallel
@@ -289,15 +310,34 @@ func (s *Suite) FigureParallelScaling() (*Figure, error) {
 		}
 		speedups = append(speedups, desWall/wall)
 		wallMs = append(wallMs, wall*1e3)
-		s.logf("parallel workers=%d: %.1fms wall (DES %.1fms), speedup %.2fx\n",
-			wc, wall*1e3, desWall*1e3, desWall/wall)
+		specFrac = append(specFrac, float64(res.Stats.Speculated)/float64(res.Stats.Steps))
+		specDepth = append(specDepth, float64(res.Stats.SpecDepth))
+		s.logf("parallel workers=%d: %.1fms wall (DES %.1fms), speedup %.2fx, spec %.0f%% depth %d\n",
+			wc, wall*1e3, desWall*1e3, desWall/wall,
+			100*float64(res.Stats.Speculated)/float64(res.Stats.Steps), res.Stats.SpecDepth)
 	}
 	return &Figure{
-		Title:  fmt.Sprintf("Parallel executor: wall-clock scaling vs DES (Graph A, %d partitions, S=%d)", k, s.Staleness()),
+		Title:  fmt.Sprintf("Parallel executor: wall-clock scaling vs DES (Graph A, %d partitions, S=%d, %s)", k, s.Staleness(), s.clusterName()),
 		XLabel: "# Executor goroutines", YLabel: "Speedup over DES (wall clock)",
-		X:      intsToFloats(ParallelWorkerCounts),
-		Series: []Series{{Label: "Speedup", Y: speedups}, {Label: "WallMs", Y: wallMs}},
+		X: intsToFloats(ParallelWorkerCounts),
+		Series: []Series{
+			{Label: "Speedup", Y: speedups}, {Label: "WallMs", Y: wallMs},
+			{Label: "SpecFrac", Y: specFrac}, {Label: "SpecDepth", Y: specDepth},
+		},
 	}, nil
+}
+
+// FigureParallelScalingHPC is the cores-scaling figure on the HPC
+// preset, whose microsecond publish floor collapsed the old global
+// lookahead window (speculation depth ~1, ROADMAP item). Under
+// dependency-aware admission the SpecFrac/SpecDepth series must stay at
+// the EC2 figure's level: only *neighbor* publications gate a step, so a
+// tiny floor no longer serializes independent partitions.
+func (s *Suite) FigureParallelScalingHPC() (*Figure, error) {
+	saved := s.Cluster
+	s.Cluster = cluster.HPCCluster()
+	defer func() { s.Cluster = saved }()
+	return s.FigureParallelScaling()
 }
 
 // WorkloadRow is one end-to-end workload run in a chosen mode.

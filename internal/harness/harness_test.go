@@ -292,13 +292,77 @@ func TestFigureParallelScaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Series) != 2 || len(f.Series[0].Y) != len(ParallelWorkerCounts) {
+	if len(f.Series) != 4 || len(f.Series[0].Y) != len(ParallelWorkerCounts) {
 		t.Fatalf("bad scaling figure shape: %+v", f.Series)
 	}
 	for i, sp := range f.Series[0].Y {
 		if sp <= 0 {
 			t.Fatalf("non-positive speedup at %d: %v", i, f.Series[0].Y)
 		}
+	}
+}
+
+// TestFigureParallelScalingHPC: the HPC variant must keep the
+// speculation series near the EC2 figure's level — the dependency-aware
+// admission claim: a microsecond publish floor no longer collapses the
+// window (the old global rule pinned SpecDepth at ~1 here).
+func TestFigureParallelScalingHPC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	ec2, err := s.FigureParallelScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpc, err := s.FigureParallelScalingHPC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hpc.Title, "hpc") {
+		t.Fatalf("HPC figure not labelled with its cluster: %q", hpc.Title)
+	}
+	if s.Cluster.Name != "ec2-8-xlarge" {
+		t.Fatalf("suite cluster not restored: %s", s.Cluster.Name)
+	}
+	series := func(f *Figure, label string) []float64 {
+		for _, sr := range f.Series {
+			if sr.Label == label {
+				return sr.Y
+			}
+		}
+		t.Fatalf("figure %q has no series %q", f.Title, label)
+		return nil
+	}
+	ec2Frac, hpcFrac := series(ec2, "SpecFrac"), series(hpc, "SpecFrac")
+	hpcDepth := series(hpc, "SpecDepth")
+	for i := range hpcFrac {
+		if hpcFrac[i] < 0.8*ec2Frac[i] {
+			t.Fatalf("HPC speculation collapsed at workers=%d: frac %.2f vs EC2 %.2f",
+				ParallelWorkerCounts[i], hpcFrac[i], ec2Frac[i])
+		}
+		if hpcDepth[i] < 2 {
+			t.Fatalf("HPC speculation depth %v degenerated to head-only dispatch", hpcDepth[i])
+		}
+	}
+}
+
+// TestStalenessSweepCluE: the 460-node sweep must run on the CluE model
+// and restore the suite's cluster afterwards.
+func TestStalenessSweepCluE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f, err := s.StalenessSweepCluE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Title, "clue") {
+		t.Fatalf("CluE sweep not labelled with its cluster: %q", f.Title)
+	}
+	if s.Cluster.Name != "ec2-8-xlarge" {
+		t.Fatalf("suite cluster not restored: %s", s.Cluster.Name)
 	}
 }
 

@@ -102,29 +102,33 @@ func TestAsyncFasterThanGeneral(t *testing.T) {
 }
 
 // TestAsyncParallelExecutorMatchesDES: the dense all-to-all exchange is
-// the hardest case for conservative lookahead (every partition is every
-// other's neighbor); the parallel executor must still reproduce the DES
-// centroids and stats exactly.
+// the hardest case for dependency-aware admission (every partition is
+// every other's neighbor, so every pending event constrains every
+// step); the parallel executor must still reproduce the DES centroids
+// and stats exactly, on the cloud, cross-rack, and HPC presets.
 func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
-	noisy := func() *cluster.Cluster { return cluster.New(cluster.EC2LargeCluster()) }
-	pts := smallCensus(t)
-	for _, s := range []int{0, 2, async.Unbounded} {
-		des, err := RunAsync(noisy(), pts, 9, DefaultConfig(0.01), async.Options{Staleness: s, Executor: async.DES})
-		if err != nil {
-			t.Fatalf("S=%d des: %v", s, err)
-		}
-		par, err := RunAsync(noisy(), pts, 9, DefaultConfig(0.01), async.Options{Staleness: s, Executor: async.Parallel})
-		if err != nil {
-			t.Fatalf("S=%d parallel: %v", s, err)
-		}
-		if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
-			des.Stats.Publishes != par.Stats.Publishes || des.Stats.Failures != par.Stats.Failures {
-			t.Fatalf("S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", s, des.Stats, par.Stats)
-		}
-		for c := range des.Centroids {
-			for d := range des.Centroids[c] {
-				if des.Centroids[c][d] != par.Centroids[c][d] {
-					t.Fatalf("S=%d: centroid %d dim %d diverged", s, c, d)
+	for _, cfg := range []*cluster.Config{
+		cluster.EC2LargeCluster(), cluster.EC2CrossRackCluster(), cluster.HPCCluster(),
+	} {
+		pts := smallCensus(t)
+		for _, s := range []int{0, 2, async.Unbounded} {
+			des, err := RunAsync(cluster.New(cfg), pts, 9, DefaultConfig(0.01), async.Options{Staleness: s, Executor: async.DES})
+			if err != nil {
+				t.Fatalf("%s S=%d des: %v", cfg.Name, s, err)
+			}
+			par, err := RunAsync(cluster.New(cfg), pts, 9, DefaultConfig(0.01), async.Options{Staleness: s, Executor: async.Parallel})
+			if err != nil {
+				t.Fatalf("%s S=%d parallel: %v", cfg.Name, s, err)
+			}
+			if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
+				des.Stats.Publishes != par.Stats.Publishes || des.Stats.Failures != par.Stats.Failures {
+				t.Fatalf("%s S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", cfg.Name, s, des.Stats, par.Stats)
+			}
+			for c := range des.Centroids {
+				for d := range des.Centroids[c] {
+					if des.Centroids[c][d] != par.Centroids[c][d] {
+						t.Fatalf("%s S=%d: centroid %d dim %d diverged", cfg.Name, s, c, d)
+					}
 				}
 			}
 		}

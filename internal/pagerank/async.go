@@ -192,16 +192,27 @@ func RunAsync(c *cluster.Cluster, subs []*graph.SubGraph, cfg Config, opt async.
 // buildAsyncWorkload precomputes the boundary exchange plan: who
 // publishes which contributions and who reads them.
 func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int, error) {
+	// Node ids are dense in [0, n) (RunAsync's rank gather relies on the
+	// same invariant), so flat arrays replace the per-node maps — the
+	// workload rebuild is on every run's critical path.
 	n := 0
-	owner := map[graph.NodeID]int{}
-	for p, s := range subs {
+	for _, s := range subs {
 		n += s.NumNodes()
+	}
+	owner := make([]int32, n)
+	borderIdx := make([]int32, n) // global node id -> border index on its owner
+	for i := range owner {
+		owner[i] = -1
+		borderIdx[i] = -1
+	}
+	for p, s := range subs {
 		for _, u := range s.Nodes {
-			owner[u] = p
+			if u < 0 || int(u) >= n {
+				return nil, 0, fmt.Errorf("pagerank: node id %d outside [0,%d)", u, n)
+			}
+			owner[u] = int32(p)
 		}
 	}
-	// Border lists and global-id -> border-index maps, per partition.
-	borderIdx := make([]map[graph.NodeID]int32, len(subs))
 	states := make([]*asyncState, len(subs))
 	for p, s := range subs {
 		m := s.NumNodes()
@@ -212,11 +223,10 @@ func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int
 			scratch: make([]float64, m),
 			acc:     make([]float64, m),
 		}
-		borderIdx[p] = map[graph.NodeID]int32{}
 		for li := range s.Nodes {
 			st.rank[li] = 1 // all nodes start with rank 1 (§V-B)
 			if len(s.OutRemote[li]) > 0 {
-				borderIdx[p][s.Nodes[li]] = int32(len(st.border))
+				borderIdx[s.Nodes[li]] = int32(len(st.border))
 				st.border = append(st.border, int32(li))
 			}
 		}
@@ -228,23 +238,26 @@ func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int
 	}
 	// Read plans: for each partition, the neighbor slot and border index
 	// of every cross-partition in-edge source.
+	slotOf := make([]int32, len(subs))
 	for p, s := range subs {
 		st := states[p]
-		slotOf := map[int]int32{}
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
 		for li := range s.Nodes {
 			for _, src := range s.InRemote[li] {
-				q, ok := owner[src]
-				if !ok {
+				if src < 0 || int(src) >= n || owner[src] < 0 {
 					return nil, 0, fmt.Errorf("pagerank: remote source %d has no owner", src)
 				}
-				slot, ok := slotOf[q]
-				if !ok {
+				q := int(owner[src])
+				slot := slotOf[q]
+				if slot < 0 {
 					slot = int32(len(st.neighbors))
 					slotOf[q] = slot
 					st.neighbors = append(st.neighbors, q)
 				}
-				bi, ok := borderIdx[q][src]
-				if !ok {
+				bi := borderIdx[src]
+				if bi < 0 {
 					return nil, 0, fmt.Errorf("pagerank: source %d not on partition %d's border", src, q)
 				}
 				st.ghostSlot = append(st.ghostSlot, slot)

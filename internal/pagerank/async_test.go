@@ -111,29 +111,74 @@ func TestAsyncFasterThanEager(t *testing.T) {
 // TestAsyncParallelExecutorMatchesDES: same staleness sweep on the
 // wall-clock-parallel executor; virtual-time stats and converged ranks
 // must be identical to the sequential DES. Noise (stragglers, failures)
-// stays on so the stochastic draw order is covered too.
+// stays on so the stochastic draw order is covered too, and the sweep
+// runs on every cluster preset the parallel executor targets — the
+// cloud testbed, the cross-rack variant, and the HPC interconnect whose
+// tiny publish floor exercises dependency-aware admission hardest.
 func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
-	noisy := func() *cluster.Cluster { return cluster.New(cluster.EC2LargeCluster()) }
-	g := smallGraph()
-	subs := subgraphs(t, g, 8)
-	for _, s := range []int{0, 2, async.Unbounded} {
-		des, err := RunAsync(noisy(), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.DES})
-		if err != nil {
-			t.Fatalf("S=%d des: %v", s, err)
-		}
-		par, err := RunAsync(noisy(), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.Parallel})
-		if err != nil {
-			t.Fatalf("S=%d parallel: %v", s, err)
-		}
-		if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
-			des.Stats.Publishes != par.Stats.Publishes || des.Stats.GateWaits != par.Stats.GateWaits ||
-			des.Stats.Failures != par.Stats.Failures {
-			t.Fatalf("S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", s, des.Stats, par.Stats)
-		}
-		for u := range des.Ranks {
-			if des.Ranks[u] != par.Ranks[u] {
-				t.Fatalf("S=%d: node %d rank %g (DES) vs %g (parallel)", s, u, des.Ranks[u], par.Ranks[u])
+	for _, cfg := range []*cluster.Config{
+		cluster.EC2LargeCluster(), cluster.EC2CrossRackCluster(), cluster.HPCCluster(),
+	} {
+		g := smallGraph()
+		subs := subgraphs(t, g, 8)
+		for _, s := range []int{0, 2, async.Unbounded} {
+			des, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.DES})
+			if err != nil {
+				t.Fatalf("%s S=%d des: %v", cfg.Name, s, err)
 			}
+			par, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.Parallel})
+			if err != nil {
+				t.Fatalf("%s S=%d parallel: %v", cfg.Name, s, err)
+			}
+			if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
+				des.Stats.Publishes != par.Stats.Publishes || des.Stats.GateWaits != par.Stats.GateWaits ||
+				des.Stats.Failures != par.Stats.Failures {
+				t.Fatalf("%s S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", cfg.Name, s, des.Stats, par.Stats)
+			}
+			for u := range des.Ranks {
+				if des.Ranks[u] != par.Ranks[u] {
+					t.Fatalf("%s S=%d: node %d rank %g (DES) vs %g (parallel)", cfg.Name, s, u, des.Ranks[u], par.Ranks[u])
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncParallelSpeculationPresets pins the point of dependency-aware
+// admission: speculation must not collapse on clusters with a tiny
+// publish floor. The HPC preset's Speculated count must stay within 20%
+// of the EC2 preset's at the same scale, and the speculation depth (peak
+// concurrently in-flight pre-executed steps — the usable wall-clock
+// overlap) must reach the partition count on both, not degenerate to
+// head-of-heap-only dispatch.
+func TestAsyncParallelSpeculationPresets(t *testing.T) {
+	g := smallGraph()
+	const parts = 8
+	subs := subgraphs(t, g, parts)
+	run := func(cfg *cluster.Config) *async.RunStats {
+		res, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(),
+			async.Options{Staleness: 4, Executor: async.Parallel})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		return res.Stats
+	}
+	ec2, hpc := run(cluster.EC2LargeCluster()), run(cluster.HPCCluster())
+	if ec2.Speculated == 0 || hpc.Speculated == 0 {
+		t.Fatalf("speculation inactive: ec2=%d hpc=%d", ec2.Speculated, hpc.Speculated)
+	}
+	// The two cost models converge in different numbers of steps, so the
+	// comparable quantity is the speculated fraction of the run's own
+	// steps: the HPC preset must stay within 20% of the EC2 preset's.
+	frac := func(st *async.RunStats) float64 { return float64(st.Speculated) / float64(st.Steps) }
+	if frac(hpc) < 0.8*frac(ec2) {
+		t.Fatalf("HPC speculation collapsed: %d/%d steps speculated (%.1f%%), EC2 %d/%d (%.1f%%)",
+			hpc.Speculated, hpc.Steps, 100*frac(hpc), ec2.Speculated, ec2.Steps, 100*frac(ec2))
+	}
+	for _, st := range []*async.RunStats{ec2, hpc} {
+		if st.SpecDepth < parts/2 {
+			t.Fatalf("speculation depth %d of %d partitions: admission window degenerated (ec2=%d hpc=%d)",
+				st.SpecDepth, parts, ec2.SpecDepth, hpc.SpecDepth)
 		}
 	}
 }

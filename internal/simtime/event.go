@@ -23,22 +23,13 @@ type EventHeap struct {
 func (h *EventHeap) Len() int { return len(h.events) }
 
 // Peek returns the earliest pending event without removing it; ok is
-// false when the heap is empty. Conservative schedulers use the head's
-// time as the lookahead window origin before popping.
+// false when the heap is empty. Schedulers read the head's time as the
+// admission frontier before popping.
 func (h *EventHeap) Peek() (ev Event, ok bool) {
 	if len(h.events) == 0 {
 		return Event{}, false
 	}
 	return h.events[0], true
-}
-
-// Scan calls fn for every pending event in unspecified order, without
-// disturbing the heap. fn must not push or pop. The parallel async
-// executor scans for events inside its lookahead window to pre-execute.
-func (h *EventHeap) Scan(fn func(Event)) {
-	for _, e := range h.events {
-		fn(e)
-	}
 }
 
 // Push schedules id at time at, stamping the next sequence number.

@@ -87,30 +87,35 @@ func TestAsyncFasterThanEager(t *testing.T) {
 }
 
 // TestAsyncParallelExecutorMatchesDES: the parallel executor must
-// produce the exact distances and virtual-time stats of the DES.
+// produce the exact distances and virtual-time stats of the DES, on the
+// cloud, cross-rack, and HPC presets (the last has the tiny publish
+// floor that exercises dependency-aware admission hardest).
 func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
-	noisy := func() *cluster.Cluster { return cluster.New(cluster.EC2LargeCluster()) }
-	g := smallGraph()
-	subs := subgraphs(t, g, 8)
-	for _, s := range []int{0, 2, async.Unbounded} {
-		des, err := RunAsync(noisy(), subs, Config{Source: 0}, async.Options{Staleness: s, Executor: async.DES})
-		if err != nil {
-			t.Fatalf("S=%d des: %v", s, err)
-		}
-		par, err := RunAsync(noisy(), subs, Config{Source: 0}, async.Options{Staleness: s, Executor: async.Parallel})
-		if err != nil {
-			t.Fatalf("S=%d parallel: %v", s, err)
-		}
-		if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
-			des.Stats.Publishes != par.Stats.Publishes || des.Stats.Failures != par.Stats.Failures {
-			t.Fatalf("S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", s, des.Stats, par.Stats)
-		}
-		for u := range des.Dist {
-			if des.Dist[u] != par.Dist[u] {
-				t.Fatalf("S=%d: node %d dist %g (DES) vs %g (parallel)", s, u, des.Dist[u], par.Dist[u])
+	for _, cfg := range []*cluster.Config{
+		cluster.EC2LargeCluster(), cluster.EC2CrossRackCluster(), cluster.HPCCluster(),
+	} {
+		g := smallGraph()
+		subs := subgraphs(t, g, 8)
+		for _, s := range []int{0, 2, async.Unbounded} {
+			des, err := RunAsync(cluster.New(cfg), subs, Config{Source: 0}, async.Options{Staleness: s, Executor: async.DES})
+			if err != nil {
+				t.Fatalf("%s S=%d des: %v", cfg.Name, s, err)
 			}
+			par, err := RunAsync(cluster.New(cfg), subs, Config{Source: 0}, async.Options{Staleness: s, Executor: async.Parallel})
+			if err != nil {
+				t.Fatalf("%s S=%d parallel: %v", cfg.Name, s, err)
+			}
+			if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
+				des.Stats.Publishes != par.Stats.Publishes || des.Stats.Failures != par.Stats.Failures {
+				t.Fatalf("%s S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", cfg.Name, s, des.Stats, par.Stats)
+			}
+			for u := range des.Dist {
+				if des.Dist[u] != par.Dist[u] {
+					t.Fatalf("%s S=%d: node %d dist %g (DES) vs %g (parallel)", cfg.Name, s, u, des.Dist[u], par.Dist[u])
+				}
+			}
+			checkAgainstDijkstra(t, g, par.Dist, 0)
 		}
-		checkAgainstDijkstra(t, g, par.Dist, 0)
 	}
 }
 

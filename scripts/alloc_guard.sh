@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# alloc_guard.sh — benchmem regression guard for the speculated step
+# path of the parallel async executor.
+#
+# Runs BenchmarkAsyncParallel/pagerank/parallel (the configuration whose
+# steps are ~100% speculated) with -benchmem and fails when allocs/op
+# exceeds the committed threshold. The run is deterministic, so
+# allocs/op is stable across machines: after PR 3's scratch-buffer reuse
+# it sits around 1.8K per full run (see BENCH_PR3.json for the 5.6K
+# pre-change value). The threshold leaves headroom for runtime/GC
+# bookkeeping noise while still catching any per-step allocation sneaking
+# back into the speculation hot path.
+#
+# Usage: scripts/alloc_guard.sh [max_allocs_per_op]
+set -eu
+
+max=${1:-2500}
+cd "$(dirname "$0")/.."
+
+out=$(go test -run xxx -bench 'BenchmarkAsyncParallel/pagerank/parallel' -benchmem -benchtime 3x .)
+echo "$out"
+allocs=$(echo "$out" | awk '$1 ~ /^BenchmarkAsyncParallel\/pagerank\/parallel/ {
+	for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+}')
+if [ -z "$allocs" ]; then
+	echo "alloc_guard: benchmark reported no allocs/op" >&2
+	exit 1
+fi
+if [ "$allocs" -gt "$max" ]; then
+	echo "alloc_guard: FAIL — $allocs allocs/op exceeds the committed threshold $max" >&2
+	exit 1
+fi
+echo "alloc_guard: ok — $allocs allocs/op <= $max"

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# bench.sh — record the async-runtime performance baseline.
+#
+# Runs the async benchmarks with -benchmem and writes the parsed results
+# as JSON (default BENCH_PR3.json at the repo root) so later PRs can
+# diff allocs/op and ns/op against a committed trajectory point.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+set -eu
+
+out=${1:-BENCH_PR3.json}
+benchtime=${2:-3x}
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run xxx \
+	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$' \
+	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+# Parse `BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  0.5 metric`
+# lines into a JSON object keyed by benchmark name (GOMAXPROCS suffix
+# stripped). Custom b.ReportMetric units are kept alongside the standard
+# triple.
+awk -v benchtime="$benchtime" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	line = "    \"" name "\": {\"iters\": " $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/[^A-Za-z0-9_\/-]/, "-", unit)
+		line = line ", \"" unit "\": " $i
+	}
+	line = line "}"
+	rows[++n] = line
+}
+END {
+	print "{"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print "  \"benchmarks\": {"
+	for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+	print "  }"
+	print "}"
+}
+' "$raw" >"$out"
+
+echo "wrote $out" >&2
