@@ -25,6 +25,8 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/pagerank"
 	"repro/internal/partition"
+	"repro/internal/recovery"
+	"repro/internal/simtime"
 	"repro/internal/sssp"
 )
 
@@ -546,6 +548,56 @@ func BenchmarkAsyncParallel(b *testing.B) {
 				}
 				b.ReportMetric(float64(res.Stats.Speculated)/float64(res.Stats.Steps), "speculated-frac")
 				b.ReportMetric(float64(res.Stats.SpecDepth), "spec-depth")
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncRecovery measures the worker-crash fault model
+// (internal/recovery) end to end on async PageRank: a crash-free
+// baseline, a crash-free run that still pays an every-8-steps
+// checkpoint cadence (pure overhead), and a harsh-MTTF run whose
+// recoveries restore checkpoints and replay lost steps. The cost model
+// shrinks the one-time job launch so the crash exposure lands in the
+// stepping phase. Reported metrics expose both sides of the trade-off;
+// run with -benchmem to track the recovery path's allocations
+// (scripts/alloc_guard.sh guards the crash-free path's budget in CI).
+func BenchmarkAsyncRecovery(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The shared recovery cost model (shrunk launch, no noise): the
+	// alloc-guard thresholds are tuned against this configuration.
+	base := harness.NewSuite(benchScale).RecoveryCluster()
+	for _, tc := range []struct {
+		name string
+		mttf simtime.Duration
+		pol  recovery.Policy
+	}{
+		{"crashfree", 0, nil},
+		{"ckpt-only", 0, recovery.EverySteps(8)},
+		{"mttf=1s", simtime.Second, recovery.EverySteps(8)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := *base
+				cfg.CrashMTTF = tc.mttf
+				res, err := pagerank.RunAsync(cluster.New(&cfg), subs, pagerank.DefaultConfig(),
+					async.Options{Staleness: harness.DefaultStaleness, Checkpoint: tc.pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-async")
+				b.ReportMetric(float64(res.Stats.Crashes), "crashes")
+				b.ReportMetric(float64(res.Stats.LostSteps), "lost-steps")
+				b.ReportMetric(res.Stats.CheckpointTime.Seconds(), "ckpt-seconds")
+				b.ReportMetric(res.Stats.RecoveryTime.Seconds(), "recovery-seconds")
 			}
 		})
 	}

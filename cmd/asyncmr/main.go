@@ -8,7 +8,7 @@
 // Usage:
 //
 //	asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W]
-//	        [-cpuprofile F] [-memprofile F] <experiment>
+//	        [-mttf T] [-ckpt P] [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments:
 //
@@ -29,6 +29,11 @@
 //	parallelhpc        the same figure on the HPC preset, whose tiny
 //	                   publish floor is the hard case for the executor's
 //	                   dependency-aware admission
+//	recovery           checkpoint-interval-vs-MTTF sweep of the worker-
+//	                   crash fault model (internal/recovery): time to
+//	                   converge across checkpoint cadences under several
+//	                   failure regimes, with the checkpoint-write vs
+//	                   recovery-replay decomposition
 //	run                run PageRank, SSSP and K-Means end to end in the
 //	                   mode selected by -mode/-staleness
 //	all                everything above except run
@@ -37,6 +42,14 @@
 // executor (-workers caps its goroutines); simulated results are
 // identical to the default sequential DES, only real elapsed time
 // changes.
+//
+// -mttf enables the worker-crash fault model for async runs: each
+// worker crashes as a Poisson process with the given mean time to
+// failure in simulated seconds, losing its in-memory state and
+// recovering by checkpoint restore + deterministic replay. -ckpt picks
+// the checkpoint policy: none (default), steps:K (every K steps) or
+// interval:SECONDS (virtual time). Both apply to `run` and the async
+// figures; the `recovery` experiment sweeps them itself.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, so the runtime's hot paths can be profiled on full-size
@@ -56,6 +69,7 @@ import (
 
 	"repro/internal/async"
 	"repro/internal/harness"
+	"repro/internal/recovery"
 )
 
 func main() {
@@ -68,11 +82,15 @@ func main() {
 		"execute async runs on the wall-clock-parallel executor (identical simulated results)")
 	workers := flag.Int("workers", 0,
 		"goroutine cap for the parallel executor; 0 = GOMAXPROCS")
+	mttf := flag.Float64("mttf", 0,
+		"worker-crash mean time to failure in simulated seconds for async runs; 0 disables crashes")
+	ckpt := flag.String("ckpt", "none",
+		"worker checkpoint policy for async runs: none, steps:K or interval:SECONDS")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-cpuprofile F] [-memprofile F] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue parallel parallelhpc run all\n")
+		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-mttf T] [-ckpt P] [-cpuprofile F] [-memprofile F] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue parallel parallelhpc recovery run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,6 +111,13 @@ func main() {
 		s.AsyncExecutor = async.Parallel
 	}
 	s.AsyncWorkers = *workers
+	s.CrashMTTF = *mttf
+	pol, perr := recovery.ParsePolicy(*ckpt)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "asyncmr: %v\n", perr)
+		os.Exit(2)
+	}
+	s.CheckpointPolicy = pol
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -219,6 +244,12 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		f.Render(out)
+	case "recovery":
+		f, err := s.FigureRecoverySweep()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
 	case "run":
 		rows, err := s.RunWorkloads(mode, s.AsyncStaleness)
 		if err != nil {
@@ -285,6 +316,11 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		fph.Render(out)
+		fr, err := s.FigureRecoverySweep()
+		if err != nil {
+			return err
+		}
+		fr.Render(out)
 		fs, err := s.Scalability()
 		if err != nil {
 			return err

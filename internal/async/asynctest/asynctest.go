@@ -1,0 +1,125 @@
+// Package asynctest holds the shared executor-parity harness for the
+// asynchronous runtime's workload adapters. The parity contract —
+// identical virtual-time stats and identical converged state across the
+// sequential DES and the wall-clock-parallel executor, on every cluster
+// preset the executor targets — is the same for PageRank, SSSP and
+// K-Means; only the way a workload runs and what its converged state
+// looks like differ. Each adapter's test supplies that as a Runner and
+// delegates the sweep (presets × staleness bounds × executors, with and
+// without worker crashes) to this package, instead of copy-pasting the
+// loop.
+package asynctest
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+	"repro/internal/recovery"
+)
+
+// Runner executes the workload once on a fresh cluster built from cfg
+// with the given options, returning the run's stats and a
+// deep-comparable fingerprint of the converged state (ranks, distances,
+// centroids, ...). Runners must build a fresh cluster per call —
+// parity depends on replaying the RNG stream from the seed.
+type Runner func(t *testing.T, cfg *cluster.Config, opt async.Options) (*async.RunStats, any)
+
+// Presets returns the cluster cost models the executor-parity contract
+// covers: the paper's cloud testbed, its cross-rack variant, and the
+// HPC interconnect whose tiny publish floor is the hard case for
+// dependency-aware admission.
+func Presets() []*cluster.Config {
+	return []*cluster.Config{
+		cluster.EC2LargeCluster(),
+		cluster.EC2CrossRackCluster(),
+		cluster.HPCCluster(),
+	}
+}
+
+// Stalenesses is the default staleness axis of the parity sweeps:
+// lockstep, an intermediate bound, and free-running.
+func Stalenesses() []int { return []int{0, 2, async.Unbounded} }
+
+// StatsEqual fails the test unless every virtual-time field of the two
+// runs matches — including the crash fault model's counters. Speculated
+// and SpecDepth are the executor-specific observability counters and
+// are excluded.
+func StatsEqual(t *testing.T, label string, des, par *async.RunStats) {
+	t.Helper()
+	if des.Steps != par.Steps || des.Publishes != par.Publishes ||
+		des.PushedBytes != par.PushedBytes || des.GateWaits != par.GateWaits ||
+		des.MaxLead != par.MaxLead || des.Failures != par.Failures ||
+		des.Converged != par.Converged || des.Duration != par.Duration ||
+		des.MeanSteps != par.MeanSteps ||
+		des.Crashes != par.Crashes || des.Recoveries != par.Recoveries ||
+		des.LostSteps != par.LostSteps || des.Checkpoints != par.Checkpoints ||
+		des.CheckpointTime != par.CheckpointTime || des.RecoveryTime != par.RecoveryTime {
+		t.Fatalf("%s: executors diverged:\nDES:      %+v\nParallel: %+v", label, des, par)
+	}
+	if !reflect.DeepEqual(des.PerWorkerSteps, par.PerWorkerSteps) {
+		t.Fatalf("%s: per-worker steps diverged: %v vs %v", label, des.PerWorkerSteps, par.PerWorkerSteps)
+	}
+}
+
+// CheckParallelMatchesDES runs the workload under both executors across
+// Presets × stalenesses and fails on any divergence of virtual-time
+// stats or converged state.
+func CheckParallelMatchesDES(t *testing.T, stalenesses []int, run Runner) {
+	t.Helper()
+	for _, cfg := range Presets() {
+		for _, s := range stalenesses {
+			opt := async.Options{Staleness: s}
+			opt.Executor = async.DES
+			desStats, desState := run(t, cfg, opt)
+			opt.Executor = async.Parallel
+			parStats, parState := run(t, cfg, opt)
+			label := parityLabel(cfg, s)
+			StatsEqual(t, label, desStats, parStats)
+			if !reflect.DeepEqual(desState, parState) {
+				t.Fatalf("%s: converged state diverged between executors", label)
+			}
+		}
+	}
+}
+
+// CheckCrashParity is CheckParallelMatchesDES with worker crashes
+// enabled: each preset first runs crash-free under DES to measure the
+// run's natural length, then reruns both executors with CrashMTTF set
+// to a quarter of it — several crashes strike every configuration, so
+// the parity assertion (stats including Crashes/Recoveries/LostSteps,
+// plus converged state) is never vacuous. pol selects the checkpoint
+// policy (nil = none: recoveries replay from the job input).
+func CheckCrashParity(t *testing.T, stalenesses []int, pol recovery.Policy, run Runner) {
+	t.Helper()
+	for _, cfg := range Presets() {
+		for _, s := range stalenesses {
+			base, _ := run(t, cfg, async.Options{Staleness: s})
+			crashy := *cfg
+			crashy.CrashMTTF = base.Duration / 4
+			opt := async.Options{Staleness: s, Checkpoint: pol}
+			opt.Executor = async.DES
+			desStats, desState := run(t, &crashy, opt)
+			opt.Executor = async.Parallel
+			parStats, parState := run(t, &crashy, opt)
+			label := parityLabel(cfg, s) + "/crashy"
+			StatsEqual(t, label, desStats, parStats)
+			if desStats.Crashes == 0 || desStats.Recoveries == 0 {
+				t.Fatalf("%s: no crashes struck at MTTF %v (duration %v); parity proves nothing",
+					label, crashy.CrashMTTF, base.Duration)
+			}
+			if !reflect.DeepEqual(desState, parState) {
+				t.Fatalf("%s: converged state diverged between executors", label)
+			}
+		}
+	}
+}
+
+func parityLabel(cfg *cluster.Config, s int) string {
+	if s < 0 {
+		return cfg.Name + "/S=inf"
+	}
+	return cfg.Name + "/S=" + strconv.Itoa(s)
+}

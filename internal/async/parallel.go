@@ -124,6 +124,14 @@ func newParallelScheduler[D any](k *core[D]) *parallelScheduler[D] {
 	for p := range k.workers {
 		k.markDirty(p)
 	}
+	// A crash invalidates the crashed worker's own in-flight
+	// speculation: its inputs were read at the pre-crash event time,
+	// while the recovered worker executes at its later clock, where more
+	// neighbor versions may be visible. (Crashes only ever delay
+	// publications, so every *other* speculation's admission bound stays
+	// sound.) The core calls this before recovery touches worker state,
+	// so replay never runs concurrently with the worker's own Step.
+	k.onCrash = s.invalidate
 	for i := 0; i < n; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -178,6 +186,15 @@ func (s *parallelScheduler[D]) tryDispatch(p int, frontier simtime.Duration) {
 	}
 	st := s.workers[p]
 	t := s.pendingAt[p]
+	if st.clock > t {
+		// Defensive: a worker's clock beyond its pending event would
+		// make the canonical read happen later than t, invalidating any
+		// inputs read here. Crash recovery upholds clock <= pendingAt by
+		// rescheduling (core.handleCrash), so this cannot fire today; if
+		// a future path breaks the invariant, fall back to inline
+		// execution rather than mis-speculating.
+		return
+	}
 	for _, q := range st.neighbors {
 		qs := s.workers[q]
 		if qs.forced {
@@ -282,10 +299,26 @@ func (s *parallelScheduler[D]) Execute(p int) (StepOutcome[D], error) {
 	return sp.out, nil
 }
 
+// invalidate discards partition p's in-flight speculation, if any:
+// waits for the pool goroutine to finish with p's buffers (so recovery
+// may safely restore and replay p's state) and drops the result.
+func (s *parallelScheduler[D]) invalidate(p int) {
+	sp := &s.specs[p]
+	if !sp.active {
+		return
+	}
+	sp.done.Wait()
+	sp.active = false
+	s.outstanding--
+}
+
 // Finish checks that every speculation was consumed, then finalizes as
-// the core does.
+// the core does. A core error (a failed crash replay aborts the run
+// from Admit) takes precedence: specs legitimately left in flight by
+// the abort are not an executor bug, and core.Finish reports the real
+// failure.
 func (s *parallelScheduler[D]) Finish() (*RunStats, error) {
-	if s.outstanding != 0 {
+	if s.err == nil && s.outstanding != 0 {
 		return nil, fmt.Errorf("async: executor bug: %d speculated steps never consumed", s.outstanding)
 	}
 	return s.core.Finish()

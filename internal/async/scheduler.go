@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/recovery"
 	"repro/internal/simtime"
 )
 
@@ -83,6 +84,13 @@ type Options struct {
 	// Workers caps the parallel executor's goroutine pool (0 =
 	// GOMAXPROCS). The DES executor ignores it.
 	Workers int
+	// Checkpoint is the worker checkpoint policy of the crash fault
+	// model (nil = recovery.None()). With a non-none policy or a
+	// positive cluster CrashMTTF, the workload must implement
+	// Recoverable. With crashes disabled and no policy, the recovery
+	// machinery is fully inert: no journaling, no extra RNG draws, and
+	// results bit-identical to a build without the fault model.
+	Checkpoint recovery.Policy
 }
 
 // StepOutcome is what one worker step hands back to the engine.
@@ -137,6 +145,29 @@ type Workload[D any] interface {
 	Step(p int, step int, inputs []Snapshot[D]) StepOutcome[D]
 }
 
+// Recoverable extends Workload with the state hooks of the worker-crash
+// fault model (internal/recovery). A crashed worker loses its in-memory
+// partition state; the versioned store survives (it is the durable
+// substrate, the asynchronous analogue of HDFS job input). Recovery
+// restores the last checkpoint and replays the journaled steps against
+// the store's immutable history, re-reading each step's inputs at its
+// original read time — so Restore followed by those Step calls must
+// rebuild partition p's state bit for bit. Both hooks are invoked on
+// the scheduling goroutine only, and replayed Step calls may revisit
+// step indices the workload has already seen (Hadoop-style
+// deterministic re-execution).
+type Recoverable[D any] interface {
+	Workload[D]
+	// Checkpoint returns an opaque snapshot of partition p's local state
+	// plus its serialized size in bytes (pricing the DFS write and the
+	// recovery read). The snapshot must be immutable: later steps must
+	// not mutate what it captures.
+	Checkpoint(p int) (state any, bytes int64)
+	// Restore resets partition p's local state to a snapshot previously
+	// returned by Checkpoint.
+	Restore(p int, state any)
+}
+
 // RunStats summarizes an asynchronous run.
 type RunStats struct {
 	// Steps is the total worker steps executed; MeanSteps averages them
@@ -171,6 +202,25 @@ type RunStats struct {
 	// a virtual-time quantity: two executors producing the same run
 	// report the same stats apart from this field and SpecDepth.
 	Speculated int64
+	// Crashes counts worker-crash events that struck while the run was
+	// live (the crash fault model, internal/recovery); Recoveries counts
+	// the restore+replay cycles performed — crashes of force-stopped
+	// workers are not recovered, so Recoveries <= Crashes. Both are
+	// virtual-time quantities: identical across executors for one seed.
+	Crashes    int64
+	Recoveries int64
+	// LostSteps is the cumulative number of journaled steps recovery had
+	// to replay; a worker crashing twice between checkpoints replays its
+	// journal twice and counts it twice.
+	LostSteps int64
+	// Checkpoints counts checkpoints taken under the run's policy;
+	// CheckpointTime is the total virtual time workers spent writing
+	// them, and RecoveryTime the total virtual time spent restoring and
+	// replaying after crashes — the two sides of the checkpoint-interval
+	// trade-off.
+	Checkpoints    int64
+	CheckpointTime simtime.Duration
+	RecoveryTime   simtime.Duration
 	// SpecDepth is the peak number of speculated steps in flight at
 	// once — the usable width of the admission window, and the upper
 	// bound on wall-clock overlap. A parallel run whose SpecDepth stays
@@ -293,6 +343,10 @@ type workerState struct {
 	// gateWaiters lists workers blocked until this partition publishes a
 	// version (or goes idle).
 	gateWaiters []int
+	// log is the worker's recovery journal (last checkpoint + steps
+	// since); nil when the crash fault model is inert, so the crash-free
+	// hot path carries no journaling cost.
+	log *recovery.Log
 }
 
 // core holds the shared bookkeeping both executors drive: worker states,
@@ -334,6 +388,23 @@ type core[D any] struct {
 	track   bool
 	dirty   []int
 	inDirty []bool
+
+	// Crash fault model (inert — all nil/zero — unless the cluster sets
+	// CrashMTTF or Options carry a checkpoint policy). Crash events ride
+	// the same heap as step events, with IDs offset by the partition
+	// count; stepEvents counts only step events so the run drains when
+	// real work does, ignoring residual crashes. rw is the workload's
+	// Recoverable view, plan the per-worker deterministic crash
+	// schedule, policy the checkpoint cadence. err carries a failure
+	// from crash handling (which runs inside Admit) to Finish. onCrash
+	// lets the parallel executor discard the crashed worker's in-flight
+	// speculation before recovery touches its state.
+	rw         Recoverable[D]
+	plan       *recovery.Plan
+	policy     recovery.Policy
+	stepEvents int
+	err        error
+	onCrash    func(p int)
 }
 
 // newCore validates the workload and performs startup: version 0 of
@@ -386,6 +457,24 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 			k.workers[q].readers = append(k.workers[q].readers, p)
 		}
 	}
+
+	// Crash fault model setup. The model is active when the cluster
+	// schedules crashes or a checkpoint policy is set; either requires
+	// the workload to expose Checkpoint/Restore.
+	k.policy = opt.Checkpoint
+	if k.policy == nil {
+		k.policy = recovery.None()
+	}
+	k.plan = recovery.NewPlan(k.cfg.Seed, n, k.cfg.CrashMTTF)
+	if k.plan.Enabled() || k.policy != recovery.None() {
+		rw, ok := w.(Recoverable[D])
+		if !ok {
+			return nil, fmt.Errorf("async: crash recovery requested (MTTF %v, policy %s) but workload does not implement Recoverable",
+				k.cfg.CrashMTTF, k.policy)
+		}
+		k.rw = rw
+	}
+
 	for p, st := range k.workers {
 		data, bytes := w.Init(p)
 		if err := k.store.Publish(p, 0, 0, data); err != nil {
@@ -395,6 +484,18 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 		start = simtime.Duration(float64(start) * c.StragglerFactor())
 		st.clock = k.cfg.JobOverhead + start
 		k.schedule(p, st.clock)
+		if k.rw != nil {
+			// Checkpoint 0 is the job input: already durable on the DFS,
+			// so it costs nothing to "write". A worker crashing before
+			// its first policy checkpoint restores this and replays from
+			// step 0.
+			state, ckptBytes := k.rw.Checkpoint(p)
+			st.log = &recovery.Log{}
+			st.log.Commit(state, ckptBytes, 0, st.clock, st.cursors, st.consumed)
+		}
+		if at, ok := k.plan.Next(p); ok {
+			k.heap.Push(at, n+p) // crash events: IDs offset by n
+		}
 	}
 	return k, nil
 }
@@ -406,6 +507,7 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 // bound, which can unblock the admission of every partition reading p.
 func (k *core[D]) schedule(p int, at simtime.Duration) {
 	k.heap.Push(at, p)
+	k.stepEvents++
 	k.pending[p] = true
 	k.pendingAt[p] = at
 	if k.track {
@@ -434,18 +536,139 @@ func (k *core[D]) markReaders(p int) {
 	}
 }
 
-// Admit pops the next due event; see Scheduler.
+// Admit pops the next due event; see Scheduler. Crash events (IDs
+// offset by the partition count) are absorbed here, on the scheduling
+// goroutine in event order, so both executors process every crash at
+// the same point of the run. The loop drains when no *step* events
+// remain: once every worker is idle or force-stopped the run is over,
+// and residual crash events — a Poisson process never runs out — are
+// discarded rather than ticking forever.
 func (k *core[D]) Admit() (int, bool) {
-	if k.heap.Len() == 0 {
-		return -1, false
+	for {
+		if k.stepEvents == 0 || k.err != nil {
+			return -1, false
+		}
+		ev := k.heap.Pop()
+		if ev.ID >= len(k.workers) {
+			k.handleCrash(ev.ID-len(k.workers), ev.At)
+			continue
+		}
+		k.stepEvents--
+		if ev.At != k.pendingAt[ev.ID] {
+			// Stale entry superseded by a crash-recovery reschedule (the
+			// heap supports no removal); the live entry carries the
+			// worker's authoritative time in the pending mirror.
+			continue
+		}
+		k.pending[ev.ID] = false
+		st := k.workers[ev.ID]
+		if st.clock < ev.At {
+			st.clock = ev.At
+		}
+		return ev.ID, true
 	}
-	ev := k.heap.Pop()
-	k.pending[ev.ID] = false
-	st := k.workers[ev.ID]
-	if st.clock < ev.At {
-		st.clock = ev.At
+}
+
+// handleCrash processes one worker-crash event at virtual time at:
+// worker p's in-memory partition state is lost and rebuilt by
+// restore+replay against the durable store. Crashes take effect at step
+// boundaries — a step spanning the crash instant completes first (its
+// publication is already in the store), and recovery starts at the
+// later of the crash time and the worker's clock. The recovered worker
+// resumes exactly what it was doing: a pending step event is
+// rescheduled at the recovered clock (so the step still reads exactly
+// at the frontier — see below), a blocked or idle worker stays blocked
+// or idle with its wake times pushed past recovery. Crashes therefore
+// only ever *delay* publications, which is what keeps the parallel
+// executor's admission bounds (lower bounds on publication times)
+// sound; the one speculation a crash does invalidate — the crashed
+// worker's own, whose inputs were read at the pre-crash event time — is
+// discarded via the onCrash hook before state is touched.
+func (k *core[D]) handleCrash(p int, at simtime.Duration) {
+	st := k.workers[p]
+	k.stats.Crashes++
+	if st.forced {
+		// The step cap already declared this partition dead to the run;
+		// there is nothing to recover for.
+		k.plan.Advance(p, at)
+		k.scheduleCrash(p)
+		return
 	}
-	return ev.ID, true
+	if k.onCrash != nil {
+		k.onCrash(p)
+	}
+	lg := st.log
+	k.stats.LostSteps += int64(lg.Lost())
+
+	// Restore: workload state back to the checkpoint, read bookkeeping
+	// (cursors, consumed versions) rewound with it.
+	k.rw.Restore(p, lg.Ckpt.State)
+	copy(st.cursors, lg.Ckpt.Cursors)
+	copy(st.consumed, lg.Ckpt.Consumed)
+
+	// Replay: re-execute every journaled step against the store's
+	// immutable history, re-reading each step's inputs at its original
+	// read time. This rebuilds the exact pre-crash state (the same
+	// determinism that lets Hadoop re-execute task attempts) and
+	// re-advances the cursors; publications are NOT re-issued — they
+	// survived in the store. Staleness-lead accounting is skipped: the
+	// original execution already counted these reads.
+	buf := k.inbuf[p]
+	for _, rec := range lg.Steps {
+		for j, q := range st.neighbors {
+			snap, idx, ok := k.store.ReadAtFrom(q, rec.ReadAt, st.cursors[j])
+			if !ok {
+				k.err = fmt.Errorf("async: replay of partition %d step %d cannot see neighbor %d at %v",
+					p, rec.Step, q, rec.ReadAt)
+				return
+			}
+			st.cursors[j] = idx
+			st.consumed[j] = snap.Version
+			buf[j] = snap
+		}
+		if _, err := runStep(k.w, p, rec.Step, buf); err != nil {
+			k.err = fmt.Errorf("async: replay of partition %d: %w", p, err)
+			return
+		}
+	}
+
+	// Price the recovery: restart + checkpoint read + replay compute,
+	// under one straggler draw (drawn here, on the scheduling goroutine,
+	// in event order — executors stay identical).
+	d := k.c.RestoreReadCost(lg.Ckpt.Bytes) + lg.ReplayCost()
+	d = simtime.Duration(float64(d) * k.c.StragglerFactor())
+	start := at
+	if st.clock > start {
+		start = st.clock
+	}
+	st.clock = start + d
+	k.stats.Recoveries++
+	k.stats.RecoveryTime += d
+
+	// The journal is not truncated: recovery restores the same
+	// checkpoint, so a second crash before the next checkpoint replays
+	// this journal again (plus whatever follows) — the honest cost of a
+	// sparse checkpoint cadence.
+	if k.pending[p] && k.pendingAt[p] < st.clock {
+		// Recovery pushed the worker's clock past its pending event.
+		// Executing at the old event would read at the recovered clock
+		// while later events can still publish versions visible at or
+		// before it — the event-ordered read would not be reproducible
+		// (and replay would diverge). Reschedule at the recovered clock,
+		// restoring the invariant that every step reads exactly at the
+		// frontier; the superseded heap entry is discarded as stale when
+		// popped (its time no longer matches the pending mirror).
+		k.schedule(p, st.clock)
+	}
+	k.plan.Advance(p, st.clock)
+	k.scheduleCrash(p)
+}
+
+// scheduleCrash queues worker p's next crash event.
+func (k *core[D]) scheduleCrash(p int) {
+	if at, ok := k.plan.Next(p); ok {
+		k.heap.Push(at, len(k.workers)+p)
+	}
 }
 
 // Gate applies the staleness bound; see Scheduler. With bound S,
@@ -548,6 +771,14 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 	st := k.workers[p]
 	d := k.c.ComputeCost(out.Ops)
 	d += simtime.Duration(float64(out.LocalIters)) * k.cfg.LocalSyncOverhead
+	if st.log != nil {
+		// Journal the step for the crash fault model: the read time is
+		// the pre-advance clock (Execute read the inputs there), and the
+		// replay cost is the deterministic compute part of d — push and
+		// stochastic scaling are excluded, since replay republishes
+		// nothing and draws its own straggler factor.
+		st.log.Record(st.steps-1, st.clock, d)
+	}
 	if out.Publish {
 		d += k.c.AsyncPushCost(out.Bytes)
 	}
@@ -559,6 +790,7 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 	st.clock += d
 
 	if !out.Publish {
+		k.maybeCheckpoint(p)
 		return nil
 	}
 	st.version++
@@ -579,7 +811,30 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 		}
 	}
 	k.blocked -= k.releaseGateWaiters(st)
+	k.maybeCheckpoint(p)
 	return nil
+}
+
+// maybeCheckpoint consults the run's checkpoint policy after a
+// completed (and published, and waiter-released) step, and prices a
+// checkpoint onto the worker's critical path when it is due: the
+// partition must be quiescent while its state is captured, so the write
+// delays the worker's next step. The checkpoint commit truncates the
+// journal — the steps before it can never be lost again.
+func (k *core[D]) maybeCheckpoint(p int) {
+	st := k.workers[p]
+	if st.log == nil || st.log.Lost() == 0 {
+		return
+	}
+	if !k.policy.Due(st.steps-st.log.Ckpt.Step, st.clock-st.log.Ckpt.At) {
+		return
+	}
+	state, bytes := k.rw.Checkpoint(p)
+	d := k.c.CheckpointWriteCost(bytes)
+	st.clock += d
+	k.stats.Checkpoints++
+	k.stats.CheckpointTime += d
+	st.log.Commit(state, bytes, st.steps, st.clock, st.cursors, st.consumed)
 }
 
 // Advance decides p's next move; see Scheduler.
@@ -589,6 +844,10 @@ func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 	case st.steps >= k.maxSteps:
 		st.forced = true
 		k.stats.Converged = false
+		// Seal the partition in the store: it will never publish again,
+		// so any (external) WaitVersion caller blocked on a future
+		// version must wake and observe the failure instead of hanging.
+		k.store.Seal(p)
 		k.blocked -= k.releaseGateWaiters(st)
 		// A forced partition never publishes again: readers' admission
 		// bounds against it become vacuous.
@@ -616,8 +875,17 @@ func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 // Finish validates drain invariants and folds the run into the cluster;
 // see Scheduler.
 func (k *core[D]) Finish() (*RunStats, error) {
+	if k.err != nil {
+		return nil, k.err
+	}
 	if k.blocked != 0 {
 		return nil, fmt.Errorf("async: %d workers still gate-blocked at drain", k.blocked)
+	}
+	// The run is over: no partition publishes again. Seal them all so
+	// any straggling external WaitVersion caller wakes instead of
+	// deadlocking.
+	for p := range k.workers {
+		k.store.Seal(p)
 	}
 	stats := k.stats
 	n := len(k.workers)
@@ -640,6 +908,9 @@ func (k *core[D]) Finish() (*RunStats, error) {
 		m.AsyncPublishes += stats.Publishes
 		m.AsyncPushedBytes += stats.PushedBytes
 		m.AsyncGateWaits += stats.GateWaits
+		m.AsyncCrashes += stats.Crashes
+		m.AsyncRecoveries += stats.Recoveries
+		m.AsyncCheckpoints += stats.Checkpoints
 		m.ComputeOps += k.totalOps
 	})
 	k.c.Clock().Advance(stats.Duration)
@@ -689,8 +960,10 @@ func (k *core[D]) gateCheck(st *workerState, t simtime.Duration) (q int, wakeAt 
 		}
 		if k.store.Latest(nb) >= need {
 			// Published but not yet visible: the publication time is in
-			// t's virtual future; wait exactly until then.
-			return -1, k.store.WaitVersion(nb, need).At, true
+			// t's virtual future; wait exactly until then. The version
+			// exists, so this WaitVersion never blocks or fails.
+			snap, _ := k.store.WaitVersion(nb, need)
+			return -1, snap.At, true
 		}
 		return nb, 0, true
 	}
@@ -703,7 +976,9 @@ func (k *core[D]) gateCheck(st *workerState, t simtime.Duration) (q int, wakeAt 
 func firstUnseen[D any](store *Store[D], st *workerState) (at simtime.Duration, unseen bool) {
 	for j, q := range st.neighbors {
 		if store.Latest(q) > st.consumed[j] {
-			snap := store.WaitVersion(q, st.consumed[j]+1)
+			// Latest > consumed, so the version exists and this never
+			// blocks or fails.
+			snap, _ := store.WaitVersion(q, st.consumed[j]+1)
 			if !unseen || snap.At < at {
 				at = snap.At
 				unseen = true

@@ -31,9 +31,10 @@ type Snapshot[D any] struct {
 // includes it, so lock-free readers holding any header only ever see
 // immutable prefixes.
 type shard[D any] struct {
-	mu   sync.Mutex
-	cond *sync.Cond // signaled on publish, for WaitVersion's slow path
-	hist atomic.Pointer[[]Snapshot[D]]
+	mu     sync.Mutex
+	cond   *sync.Cond // signaled on publish or seal, for WaitVersion's slow path
+	hist   atomic.Pointer[[]Snapshot[D]]
+	sealed bool // owner will never publish again (force-stopped, crashed for good, or drained)
 }
 
 // Store is the versioned shared state store at the center of the
@@ -87,6 +88,9 @@ func (s *Store[D]) Publish(p, version int, at simtime.Duration, data D) error {
 	sh := &s.shards[p]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.sealed {
+		return fmt.Errorf("async: publish to sealed partition %d", p)
+	}
 	var hist []Snapshot[D]
 	if hp := sh.hist.Load(); hp != nil {
 		hist = *hp
@@ -177,15 +181,49 @@ func (s *Store[D]) Read(p int) (snap Snapshot[D], ok bool) {
 // read a free-running worker performs when the staleness bound forces it
 // to observe a laggard's progress. The fast path is lock-free; only a
 // reader that genuinely has to wait touches the shard mutex.
-func (s *Store[D]) WaitVersion(p, v int) Snapshot[D] {
+//
+// ok is false when the partition was sealed before version v appeared:
+// its owner crashed without recovery, was force-stopped at the step
+// cap, or the run drained — the awaited version will never exist, and a
+// waiter that kept sleeping would deadlock. A version published before
+// the seal is still returned with ok=true (sealing never hides
+// history).
+func (s *Store[D]) WaitVersion(p, v int) (snap Snapshot[D], ok bool) {
 	if hist := s.history(p); v < len(hist) {
-		return hist[v]
+		return hist[v], true
 	}
 	sh := &s.shards[p]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for len(s.history(p)) <= v {
+		if sh.sealed {
+			return snap, false
+		}
 		sh.cond.Wait()
 	}
-	return s.history(p)[v]
+	return s.history(p)[v], true
+}
+
+// Seal marks partition p as permanently done publishing — its owner
+// crashed beyond recovery, was force-stopped, or the run drained — and
+// wakes every WaitVersion caller blocked on it so they can observe the
+// failure instead of sleeping forever. Publishing to a sealed partition
+// is an engine bug and is rejected; reads of existing history remain
+// valid.
+func (s *Store[D]) Seal(p int) {
+	sh := &s.shards[p]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.sealed {
+		sh.sealed = true
+		sh.cond.Broadcast()
+	}
+}
+
+// Sealed reports whether partition p has been sealed.
+func (s *Store[D]) Sealed(p int) bool {
+	sh := &s.shards[p]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sealed
 }

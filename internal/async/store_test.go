@@ -201,15 +201,74 @@ func TestStoreShardedProperty(t *testing.T) {
 			defer wg.Done()
 			for p := 0; p < parts; p++ {
 				for _, v := range []int{0, versions / 2, versions - 1} {
-					snap := s.WaitVersion(p, v)
-					if snap.Version != v || snap.Data != p*10000+v {
-						t.Errorf("WaitVersion(p%d, v%d) = v%d data %d", p, v, snap.Version, snap.Data)
+					snap, ok := s.WaitVersion(p, v)
+					if !ok || snap.Version != v || snap.Data != p*10000+v {
+						t.Errorf("WaitVersion(p%d, v%d) = v%d data %d ok=%v", p, v, snap.Version, snap.Data, ok)
 					}
 				}
 			}
 		}(r)
 	}
 	wg.Wait()
+}
+
+// TestStoreSealWakesWaiters is the regression test for the crash/stop
+// wakeup path: a WaitVersion caller blocked on a version that will
+// never arrive — its owner crashed for good or was force-stopped — must
+// be woken by Seal and observe the failure (ok=false) instead of
+// sleeping forever. Before Seal existed only a publish signalled the
+// shard condition variable, so waiters on a dead partition deadlocked.
+// Run with -race (the CI workflow does).
+func TestStoreSealWakesWaiters(t *testing.T) {
+	const waiters = 8
+	s := NewStore[int](2)
+	if err := s.Publish(0, 0, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	results := make(chan bool, waiters)
+	var started sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			_, ok := s.WaitVersion(0, 5) // version 5 will never be published
+			results <- ok
+		}()
+	}
+	started.Wait()
+	// Concurrent publisher on the other partition keeps the store busy
+	// while the waiters block.
+	if err := s.Publish(1, 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Seal(0)
+	for i := 0; i < waiters; i++ {
+		if ok := <-results; ok {
+			t.Fatal("waiter on a sealed partition reported success for a version that never existed")
+		}
+	}
+	if !s.Sealed(0) || s.Sealed(1) {
+		t.Fatalf("seal state wrong: p0=%v p1=%v", s.Sealed(0), s.Sealed(1))
+	}
+
+	// History published before the seal stays readable, with and without
+	// blocking; new publishes are rejected.
+	if snap, ok := s.WaitVersion(0, 0); !ok || snap.Data != 7 {
+		t.Fatalf("pre-seal version lost: %+v ok=%v", snap, ok)
+	}
+	if snap, ok := s.Read(0); !ok || snap.Data != 7 {
+		t.Fatalf("sealed partition unreadable: %+v ok=%v", snap, ok)
+	}
+	if err := s.Publish(0, 1, simtime.Second, 8); err == nil {
+		t.Fatal("publish to sealed partition accepted")
+	}
+	// Waiting on a sealed partition returns immediately.
+	if _, ok := s.WaitVersion(0, 9); ok {
+		t.Fatal("WaitVersion on sealed partition claimed a future version")
+	}
+	// Seal is idempotent.
+	s.Seal(0)
 }
 
 // TestStoreConcurrentAccess is the race-detector workout for the shared
@@ -245,9 +304,9 @@ func TestStoreConcurrentAccess(t *testing.T) {
 		go func(r int) {
 			defer wg.Done()
 			for p := 0; p < parts; p++ {
-				snap := s.WaitVersion(p, versions-1)
-				if snap.Data != p*1000+versions-1 {
-					t.Errorf("WaitVersion(p%d) data %d", p, snap.Data)
+				snap, ok := s.WaitVersion(p, versions-1)
+				if !ok || snap.Data != p*1000+versions-1 {
+					t.Errorf("WaitVersion(p%d) data %d ok=%v", p, snap.Data, ok)
 				}
 			}
 		}(r)

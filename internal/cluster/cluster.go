@@ -55,6 +55,11 @@ type Metrics struct {
 	AsyncPublishes   int64
 	AsyncPushedBytes int64
 	AsyncGateWaits   int64
+
+	// Worker-crash fault model counters (internal/recovery).
+	AsyncCrashes     int64
+	AsyncRecoveries  int64
+	AsyncCheckpoints int64
 }
 
 // New constructs a cluster from cfg. The configuration is validated; an
@@ -103,6 +108,9 @@ func (c *Cluster) Metrics() MetricsSnapshot {
 		AsyncPublishes:   c.metrics.AsyncPublishes,
 		AsyncPushedBytes: c.metrics.AsyncPushedBytes,
 		AsyncGateWaits:   c.metrics.AsyncGateWaits,
+		AsyncCrashes:     c.metrics.AsyncCrashes,
+		AsyncRecoveries:  c.metrics.AsyncRecoveries,
+		AsyncCheckpoints: c.metrics.AsyncCheckpoints,
 	}
 }
 
@@ -123,6 +131,9 @@ type MetricsSnapshot struct {
 	AsyncPublishes   int64
 	AsyncPushedBytes int64
 	AsyncGateWaits   int64
+	AsyncCrashes     int64
+	AsyncRecoveries  int64
+	AsyncCheckpoints int64
 }
 
 func (m MetricsSnapshot) String() string {
@@ -194,6 +205,23 @@ func (c *Cluster) AsyncPushCost(bytes int64) simtime.Duration {
 // everything it does not read at all — and may execute concurrently.
 func (c *Cluster) AsyncPublishFloor() simtime.Duration {
 	return simtime.Duration(float64(c.cfg.AsyncSyncOverhead+c.cfg.NetLatency) * minStragglerFactor)
+}
+
+// CheckpointWriteCost prices one worker checkpoint in the asynchronous
+// runtime's fault model: the fixed quiesce/bookkeeping overhead plus a
+// replicated DFS write of the snapshot. Checkpoints are on the worker's
+// critical path (the partition must be quiescent while its state is
+// captured), so the engine charges this to the worker's clock.
+func (c *Cluster) CheckpointWriteCost(bytes int64) simtime.Duration {
+	return c.cfg.CheckpointCost + c.DFSWriteCost(bytes)
+}
+
+// RestoreReadCost prices the restore half of a worker recovery: the
+// fixed restart overhead plus a (generally remote — the replacement
+// host does not hold a replica) DFS read of the checkpoint. The replay
+// half is priced from the recovery journal's recorded step costs.
+func (c *Cluster) RestoreReadCost(bytes int64) simtime.Duration {
+	return c.cfg.RestoreCost + c.DFSReadCost(bytes, false)
 }
 
 // DFSReadCost prices reading n bytes; reads hit one (usually local)

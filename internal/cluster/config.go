@@ -94,6 +94,27 @@ type Config struct {
 	// wasting the fraction of the attempt that had completed.
 	FailureProb float64
 
+	// CrashMTTF is the mean time to failure of one asynchronous worker
+	// host in virtual time: each worker crashes as an independent Poisson
+	// process with this mean, losing its in-memory partition state (the
+	// versioned store survives — it is the durable substrate). 0 disables
+	// worker crashes; the transient per-attempt model (FailureProb) is
+	// then the only failure source. Crash times are drawn from per-worker
+	// split RNG children (internal/recovery), so the schedule is
+	// independent of the scheduling loop's straggler/failure stream.
+	CrashMTTF simtime.Duration
+
+	// CheckpointCost is the fixed bookkeeping overhead of one worker
+	// checkpoint (quiesce, version stamp, RPC setup); the snapshot bytes
+	// additionally pay a replicated DFS write. Only paid when a
+	// checkpoint policy is active.
+	CheckpointCost simtime.Duration
+
+	// RestoreCost is the fixed overhead of restarting a crashed worker
+	// (container re-launch, task re-registration) before it re-reads its
+	// checkpoint from the DFS and replays the lost steps.
+	RestoreCost simtime.Duration
+
 	// Seed drives all stochastic elements of the simulation (failure
 	// draws, straggler jitter).
 	Seed uint64
@@ -127,6 +148,12 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cluster: CrossRackFraction must be in [0,1], got %g", c.CrossRackFraction)
 	case c.AsyncSyncOverhead < 0:
 		return fmt.Errorf("cluster: AsyncSyncOverhead must be non-negative, got %v", c.AsyncSyncOverhead)
+	case c.CrashMTTF < 0:
+		return fmt.Errorf("cluster: CrashMTTF must be non-negative, got %v", c.CrashMTTF)
+	case c.CheckpointCost < 0:
+		return fmt.Errorf("cluster: CheckpointCost must be non-negative, got %v", c.CheckpointCost)
+	case c.RestoreCost < 0:
+		return fmt.Errorf("cluster: RestoreCost must be non-negative, got %v", c.RestoreCost)
 	}
 	return nil
 }
@@ -169,6 +196,9 @@ func EC2LargeCluster() *Config {
 		AsyncSyncOverhead:  5 * simtime.Millisecond,
 		CoresPerMapSlot:    2,
 		FailureProb:        0.002,
+		CrashMTTF:          0, // worker crashes off by default; experiments opt in
+		CheckpointCost:     250 * simtime.Millisecond,
+		RestoreCost:        3 * simtime.Second,
 		Seed:               1,
 		StragglerJitter:    0.08,
 	}
@@ -202,6 +232,8 @@ func CluECluster() *Config {
 	c.TaskOverhead = 1500 * simtime.Millisecond
 	c.AsyncSyncOverhead = 15 * simtime.Millisecond
 	c.FailureProb = 0.006
+	c.CheckpointCost = 500 * simtime.Millisecond
+	c.RestoreCost = 8 * simtime.Second
 	c.StragglerJitter = 0.15
 	return c
 }
@@ -221,6 +253,8 @@ func HPCCluster() *Config {
 	c.TaskOverhead = 2 * simtime.Millisecond
 	c.AsyncSyncOverhead = 50 * simtime.Microsecond
 	c.FailureProb = 0
+	c.CheckpointCost = 5 * simtime.Millisecond
+	c.RestoreCost = 100 * simtime.Millisecond
 	c.StragglerJitter = 0
 	return c
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kmeans"
 	"repro/internal/pagerank"
+	"repro/internal/simtime"
 	"repro/internal/sssp"
 )
 
@@ -19,11 +20,17 @@ import (
 const DefaultStaleness = 4
 
 // asyncCluster builds a fresh simulated cluster for one async run,
-// mirroring Suite.engine for the MapReduce modes.
+// mirroring Suite.engine for the MapReduce modes. A suite-level
+// CrashMTTF is applied on a copy, so the shared preset stays pristine.
 func (s *Suite) asyncCluster() *cluster.Cluster {
 	cfg := s.Cluster
 	if cfg == nil {
 		cfg = cluster.EC2LargeCluster()
+	}
+	if s.CrashMTTF > 0 {
+		c := *cfg
+		c.CrashMTTF = simtime.Duration(s.CrashMTTF)
+		cfg = &c
 	}
 	return cluster.New(cfg)
 }
@@ -39,12 +46,14 @@ func (s *Suite) clusterName() string {
 // asyncOptions assembles the suite's async run options: staleness bound
 // plus the executor selection (DES by default; the CLI's -parallel flag
 // switches to the wall-clock-parallel executor, whose virtual-time
-// results are identical).
+// results are identical) and the checkpoint policy of the crash fault
+// model (the CLI's -ckpt flag).
 func (s *Suite) asyncOptions(staleness int) async.Options {
 	return async.Options{
-		Staleness: staleness,
-		Executor:  s.AsyncExecutor,
-		Workers:   s.AsyncWorkers,
+		Staleness:  staleness,
+		Executor:   s.AsyncExecutor,
+		Workers:    s.AsyncWorkers,
+		Checkpoint: s.CheckpointPolicy,
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/pagerank"
 	"repro/internal/partition"
+	"repro/internal/recovery"
 	"repro/internal/sssp"
 	"repro/internal/stats"
 )
@@ -42,6 +43,14 @@ type Suite struct {
 	// AsyncWorkers caps the parallel executor's goroutine pool
 	// (0 = GOMAXPROCS). Ignored under async.DES.
 	AsyncWorkers int
+	// CrashMTTF is the worker-crash mean time to failure, in simulated
+	// seconds, applied to async runs (0 = crashes disabled). The CLI's
+	// -mttf flag sets it.
+	CrashMTTF float64
+	// CheckpointPolicy is the worker checkpoint policy for async runs
+	// (nil = none). The CLI's -ckpt flag sets it
+	// (none | steps:K | interval:SECONDS).
+	CheckpointPolicy recovery.Policy
 	// MaxSweepPoints caps how many partition counts a sweep visits
 	// (0 = all). Tests trim the sweep so the full-pipeline assertions
 	// run in seconds; benches and the CLI keep the complete axis.

@@ -467,3 +467,66 @@ func TestScalabilityRuns(t *testing.T) {
 		t.Fatalf("suite cluster not restored: %s", s.Cluster.Name)
 	}
 }
+
+// TestFigureRecoverySweep: the checkpoint-interval-vs-MTTF sweep of the
+// worker-crash fault model must run end to end and show the trade-off's
+// two sides: total checkpoint time falls monotonically as the interval
+// grows, and the checkpoint-free column replays the most lost work
+// (highest recovery time in the harshest regime). The figure must be
+// identical whichever executor produced it.
+func TestFigureRecoverySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f, err := s.FigureRecoverySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != len(RecoveryMTTFFractions)+2 {
+		t.Fatalf("bad sweep shape: %d series", len(f.Series))
+	}
+	var ckptT, recT []float64
+	for _, ser := range f.Series {
+		switch ser.Label {
+		case "CkptTime":
+			ckptT = ser.Y
+		case "RecTime":
+			recT = ser.Y
+		}
+	}
+	if ckptT == nil || recT == nil {
+		t.Fatalf("decomposition series missing: %+v", f.Series)
+	}
+	// X axis is {none, 1, 2, ...}: no checkpoints cost nothing to write,
+	// and from K=1 on the total write time falls as K grows.
+	if ckptT[0] != 0 {
+		t.Fatalf("checkpoint-free column reports checkpoint time %g", ckptT[0])
+	}
+	for i := 2; i < len(ckptT); i++ {
+		if ckptT[i] >= ckptT[i-1] {
+			t.Fatalf("checkpoint overhead not falling with the interval: %v", ckptT)
+		}
+	}
+	// The checkpoint-free column pays the most replay.
+	for i := 1; i < len(recT); i++ {
+		if recT[0] <= recT[i] {
+			t.Fatalf("checkpoint-free recovery time %g not the maximum: %v", recT[0], recT)
+		}
+	}
+
+	// Executor parity: the parallel executor regenerates the identical
+	// figure (crashes included).
+	s.AsyncExecutor = async.Parallel
+	pf, err := s.FigureRecoverySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ser := range f.Series {
+		for j, y := range ser.Y {
+			if pf.Series[i].Y[j] != y {
+				t.Fatalf("parallel executor diverged on %s[%d]: %g vs %g", ser.Label, j, pf.Series[i].Y[j], y)
+			}
+		}
+	}
+}

@@ -52,6 +52,42 @@ type asyncWorkload struct {
 func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.allOthers[p] }
 
+// asyncCkpt is one partition's checkpoint for the crash fault model:
+// the accumulator set, the centroid estimate, and the oscillation
+// detector's movement history (which replay re-extends
+// deterministically). The points themselves are immutable job input.
+type asyncCkpt struct {
+	accum      []Accum
+	centroids  [][]float64
+	history    []float64
+	oscillated bool
+}
+
+// Checkpoint implements async.Recoverable.
+func (w *asyncWorkload) Checkpoint(p int) (any, int64) {
+	st := w.states[p]
+	c := &asyncCkpt{
+		accum:      cloneAccums(st.accum),
+		centroids:  cloneCentroids(st.centroids),
+		history:    append([]float64(nil), st.history...),
+		oscillated: st.oscillated,
+	}
+	bytes := int64(w.cfg.K)*(16+8*int64(w.dims)) + // accumulators
+		int64(w.cfg.K)*8*int64(w.dims) + // centroid estimate
+		8*int64(len(c.history)) + 16
+	return c, bytes
+}
+
+// Restore implements async.Recoverable.
+func (w *asyncWorkload) Restore(p int, state any) {
+	c := state.(*asyncCkpt)
+	st := w.states[p]
+	st.accum = cloneAccums(c.accum)
+	st.centroids = cloneCentroids(c.centroids)
+	st.history = append(st.history[:0], c.history...)
+	st.oscillated = c.oscillated
+}
+
 func (w *asyncWorkload) Init(p int) ([]Accum, int64) {
 	st := w.states[p]
 	// Version 0 is an empty accumulator set: the first fold leaves every

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/async"
+	"repro/internal/async/asynctest"
 	"repro/internal/cluster"
+	"repro/internal/recovery"
 )
 
 func asyncCluster() *cluster.Cluster {
@@ -101,38 +103,35 @@ func TestAsyncFasterThanGeneral(t *testing.T) {
 	}
 }
 
-// TestAsyncParallelExecutorMatchesDES: the dense all-to-all exchange is
-// the hardest case for dependency-aware admission (every partition is
-// every other's neighbor, so every pending event constrains every
-// step); the parallel executor must still reproduce the DES centroids
-// and stats exactly, on the cloud, cross-rack, and HPC presets.
-func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
-	for _, cfg := range []*cluster.Config{
-		cluster.EC2LargeCluster(), cluster.EC2CrossRackCluster(), cluster.HPCCluster(),
-	} {
-		pts := smallCensus(t)
-		for _, s := range []int{0, 2, async.Unbounded} {
-			des, err := RunAsync(cluster.New(cfg), pts, 9, DefaultConfig(0.01), async.Options{Staleness: s, Executor: async.DES})
-			if err != nil {
-				t.Fatalf("%s S=%d des: %v", cfg.Name, s, err)
-			}
-			par, err := RunAsync(cluster.New(cfg), pts, 9, DefaultConfig(0.01), async.Options{Staleness: s, Executor: async.Parallel})
-			if err != nil {
-				t.Fatalf("%s S=%d parallel: %v", cfg.Name, s, err)
-			}
-			if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
-				des.Stats.Publishes != par.Stats.Publishes || des.Stats.Failures != par.Stats.Failures {
-				t.Fatalf("%s S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", cfg.Name, s, des.Stats, par.Stats)
-			}
-			for c := range des.Centroids {
-				for d := range des.Centroids[c] {
-					if des.Centroids[c][d] != par.Centroids[c][d] {
-						t.Fatalf("%s S=%d: centroid %d dim %d diverged", cfg.Name, s, c, d)
-					}
-				}
-			}
+// asyncParityRunner adapts K-Means — the dense all-to-all exchange,
+// the hardest case for dependency-aware admission — to the shared
+// executor-parity harness: the converged state fingerprint is the full
+// centroid matrix.
+func asyncParityRunner(t *testing.T) asynctest.Runner {
+	pts := smallCensus(t)
+	return func(t *testing.T, cfg *cluster.Config, opt async.Options) (*async.RunStats, any) {
+		res, err := RunAsync(cluster.New(cfg), pts, 9, DefaultConfig(0.01), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
 		}
+		return res.Stats, res.Centroids
 	}
+}
+
+// TestAsyncParallelExecutorMatchesDES: the parallel executor must
+// reproduce the DES centroids and stats exactly, on every preset the
+// executor targets (shared harness: asynctest).
+func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
+	asynctest.CheckParallelMatchesDES(t, asynctest.Stalenesses(), asyncParityRunner(t))
+}
+
+// TestAsyncCrashParity: executor parity under worker crashes on the
+// dense exchange, where a crashed worker's recovery replays parameter-
+// server folds whose inputs came from every other partition.
+func TestAsyncCrashParity(t *testing.T) {
+	run := asyncParityRunner(t)
+	asynctest.CheckCrashParity(t, asynctest.Stalenesses(), nil, run)
+	asynctest.CheckCrashParity(t, []int{2}, recovery.EverySteps(4), run)
 }
 
 func TestAsyncValidation(t *testing.T) {

@@ -59,6 +59,36 @@ type asyncWorkload struct {
 func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
 
+// asyncCkpt is one partition's checkpoint for the crash fault model:
+// the mutable cross-step state is the rank vector and the last
+// published contributions. ghost/acc/scratch are per-step scratch,
+// rebuilt from inputs before they are read, so they need no capture.
+type asyncCkpt struct {
+	rank    []float64
+	lastPub []float64
+}
+
+// Checkpoint implements async.Recoverable: an immutable copy of the
+// partition's rank state, priced at its serialized size.
+func (w *asyncWorkload) Checkpoint(p int) (any, int64) {
+	st := w.states[p]
+	c := &asyncCkpt{
+		rank:    append([]float64(nil), st.rank...),
+		lastPub: append([]float64(nil), st.lastPub...),
+	}
+	return c, 16 + 8*int64(len(c.rank)+len(c.lastPub))
+}
+
+// Restore implements async.Recoverable: rewind the partition to a
+// checkpoint; the runtime then replays the journaled steps, which
+// rebuilds the lost Jacobi iterations deterministically.
+func (w *asyncWorkload) Restore(p int, state any) {
+	c := state.(*asyncCkpt)
+	st := w.states[p]
+	copy(st.rank, c.rank)
+	copy(st.lastPub, c.lastPub)
+}
+
 func (w *asyncWorkload) Init(p int) ([]float64, int64) {
 	st := w.states[p]
 	return append([]float64(nil), st.lastPub...), st.sub.Bytes

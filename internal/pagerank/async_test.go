@@ -5,7 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/async"
+	"repro/internal/async/asynctest"
 	"repro/internal/cluster"
+	"repro/internal/recovery"
+	"repro/internal/simtime"
 )
 
 func asyncCluster() *cluster.Cluster {
@@ -108,38 +111,79 @@ func TestAsyncFasterThanEager(t *testing.T) {
 	}
 }
 
+// asyncParityRunner adapts PageRank to the shared executor-parity
+// harness: the converged state fingerprint is the full rank vector.
+func asyncParityRunner(t *testing.T) asynctest.Runner {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	return func(t *testing.T, cfg *cluster.Config, opt async.Options) (*async.RunStats, any) {
+		res, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		return res.Stats, res.Ranks
+	}
+}
+
 // TestAsyncParallelExecutorMatchesDES: same staleness sweep on the
 // wall-clock-parallel executor; virtual-time stats and converged ranks
-// must be identical to the sequential DES. Noise (stragglers, failures)
-// stays on so the stochastic draw order is covered too, and the sweep
-// runs on every cluster preset the parallel executor targets — the
-// cloud testbed, the cross-rack variant, and the HPC interconnect whose
-// tiny publish floor exercises dependency-aware admission hardest.
+// must be identical to the sequential DES, on every cluster preset the
+// parallel executor targets (shared harness: asynctest).
 func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
-	for _, cfg := range []*cluster.Config{
-		cluster.EC2LargeCluster(), cluster.EC2CrossRackCluster(), cluster.HPCCluster(),
-	} {
-		g := smallGraph()
-		subs := subgraphs(t, g, 8)
-		for _, s := range []int{0, 2, async.Unbounded} {
-			des, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.DES})
-			if err != nil {
-				t.Fatalf("%s S=%d des: %v", cfg.Name, s, err)
-			}
-			par, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(), async.Options{Staleness: s, Executor: async.Parallel})
-			if err != nil {
-				t.Fatalf("%s S=%d parallel: %v", cfg.Name, s, err)
-			}
-			if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
-				des.Stats.Publishes != par.Stats.Publishes || des.Stats.GateWaits != par.Stats.GateWaits ||
-				des.Stats.Failures != par.Stats.Failures {
-				t.Fatalf("%s S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", cfg.Name, s, des.Stats, par.Stats)
-			}
-			for u := range des.Ranks {
-				if des.Ranks[u] != par.Ranks[u] {
-					t.Fatalf("%s S=%d: node %d rank %g (DES) vs %g (parallel)", cfg.Name, s, u, des.Ranks[u], par.Ranks[u])
-				}
-			}
+	asynctest.CheckParallelMatchesDES(t, asynctest.Stalenesses(), asyncParityRunner(t))
+}
+
+// TestAsyncCrashParity is the same contract under the worker-crash
+// fault model: with crashes striking mid-run (and, in the second
+// sweep, an every-4-steps checkpoint policy), both executors must
+// report identical Crashes/Recoveries/LostSteps and identical ranks.
+func TestAsyncCrashParity(t *testing.T) {
+	run := asyncParityRunner(t)
+	asynctest.CheckCrashParity(t, asynctest.Stalenesses(), nil, run)
+	asynctest.CheckCrashParity(t, []int{2}, recovery.EverySteps(4), run)
+}
+
+// TestAsyncCrashRecoveryConverges forces crashes into the stepping
+// phase (negligible job launch, MTTF far below the run length) so
+// recoveries genuinely replay lost Jacobi steps, and requires the
+// crashy run to still land on the reference fixed point: recovery must
+// be invisible to convergence, only to time.
+func TestAsyncCrashRecoveryConverges(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	cfg := cluster.EC2LargeCluster()
+	cfg.FailureProb = 0
+	cfg.StragglerJitter = 0
+	cfg.JobOverhead = 50 * simtime.Millisecond
+	cfg.TaskOverhead = 5 * simtime.Millisecond
+	cfg.RestoreCost = 100 * simtime.Millisecond
+	cfg.CheckpointCost = 10 * simtime.Millisecond
+	clean, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(), async.Options{Staleness: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CrashMTTF = clean.Stats.Duration / 8
+	res, err := RunAsync(cluster.New(cfg), subs, DefaultConfig(),
+		async.Options{Staleness: 2, Checkpoint: recovery.EverySteps(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Recoveries == 0 || res.Stats.LostSteps == 0 {
+		t.Fatalf("crashes missed the stepping phase (MTTF %v): %+v", cfg.CrashMTTF, res.Stats)
+	}
+	if res.Stats.Checkpoints == 0 || res.Stats.CheckpointTime <= 0 || res.Stats.RecoveryTime <= 0 {
+		t.Fatalf("checkpoint/recovery accounting empty: %+v", res.Stats)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("crashy run did not converge")
+	}
+	if res.Stats.Duration <= clean.Stats.Duration {
+		t.Fatalf("crashy run (%v) not slower than crash-free (%v)", res.Stats.Duration, clean.Stats.Duration)
+	}
+	want := referenceRanks(g, 0.85, 1e-5)
+	for u := range want {
+		if d := math.Abs(res.Ranks[u] - want[u]); d > 1e-3 {
+			t.Fatalf("node %d rank %g vs reference %g after recovery", u, res.Ranks[u], want[u])
 		}
 	}
 }

@@ -48,6 +48,36 @@ type asyncWorkload struct {
 func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
 
+// asyncCkpt is one partition's checkpoint for the crash fault model:
+// distances, the active frontier, and the last published border
+// distances are the state that survives across steps.
+type asyncCkpt struct {
+	dist    []float64
+	active  []bool
+	lastPub []float64
+}
+
+// Checkpoint implements async.Recoverable.
+func (w *asyncWorkload) Checkpoint(p int) (any, int64) {
+	st := w.states[p]
+	c := &asyncCkpt{
+		dist:    append([]float64(nil), st.dist...),
+		active:  append([]bool(nil), st.active...),
+		lastPub: append([]float64(nil), st.lastPub...),
+	}
+	return c, 16 + 8*int64(len(c.dist)+len(c.lastPub)) + int64(len(c.active))
+}
+
+// Restore implements async.Recoverable: rewind to a checkpoint; replay
+// re-relaxes the journaled steps against the store's history.
+func (w *asyncWorkload) Restore(p int, state any) {
+	c := state.(*asyncCkpt)
+	st := w.states[p]
+	copy(st.dist, c.dist)
+	copy(st.active, c.active)
+	copy(st.lastPub, c.lastPub)
+}
+
 func (w *asyncWorkload) Init(p int) ([]float64, int64) {
 	st := w.states[p]
 	return append([]float64(nil), st.lastPub...), st.sub.Bytes

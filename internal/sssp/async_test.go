@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/async"
+	"repro/internal/async/asynctest"
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/recovery"
 )
 
 func asyncCluster() *cluster.Cluster {
@@ -86,37 +88,38 @@ func TestAsyncFasterThanEager(t *testing.T) {
 	}
 }
 
-// TestAsyncParallelExecutorMatchesDES: the parallel executor must
-// produce the exact distances and virtual-time stats of the DES, on the
-// cloud, cross-rack, and HPC presets (the last has the tiny publish
-// floor that exercises dependency-aware admission hardest).
-func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
-	for _, cfg := range []*cluster.Config{
-		cluster.EC2LargeCluster(), cluster.EC2CrossRackCluster(), cluster.HPCCluster(),
-	} {
-		g := smallGraph()
-		subs := subgraphs(t, g, 8)
-		for _, s := range []int{0, 2, async.Unbounded} {
-			des, err := RunAsync(cluster.New(cfg), subs, Config{Source: 0}, async.Options{Staleness: s, Executor: async.DES})
-			if err != nil {
-				t.Fatalf("%s S=%d des: %v", cfg.Name, s, err)
-			}
-			par, err := RunAsync(cluster.New(cfg), subs, Config{Source: 0}, async.Options{Staleness: s, Executor: async.Parallel})
-			if err != nil {
-				t.Fatalf("%s S=%d parallel: %v", cfg.Name, s, err)
-			}
-			if des.Stats.Duration != par.Stats.Duration || des.Stats.Steps != par.Stats.Steps ||
-				des.Stats.Publishes != par.Stats.Publishes || des.Stats.Failures != par.Stats.Failures {
-				t.Fatalf("%s S=%d: stats diverged:\nDES:      %+v\nParallel: %+v", cfg.Name, s, des.Stats, par.Stats)
-			}
-			for u := range des.Dist {
-				if des.Dist[u] != par.Dist[u] {
-					t.Fatalf("%s S=%d: node %d dist %g (DES) vs %g (parallel)", cfg.Name, s, u, des.Dist[u], par.Dist[u])
-				}
-			}
-			checkAgainstDijkstra(t, g, par.Dist, 0)
+// asyncParityRunner adapts SSSP to the shared executor-parity harness:
+// the converged state fingerprint is the full distance vector, and
+// every run is additionally checked against Dijkstra — monotone
+// relaxation must stay exact under any executor (and any crash
+// schedule: recovery replays lost relaxations from the durable store).
+func asyncParityRunner(t *testing.T) asynctest.Runner {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	return func(t *testing.T, cfg *cluster.Config, opt async.Options) (*async.RunStats, any) {
+		res, err := RunAsync(cluster.New(cfg), subs, Config{Source: 0}, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
 		}
+		checkAgainstDijkstra(t, g, res.Dist, 0)
+		return res.Stats, res.Dist
 	}
+}
+
+// TestAsyncParallelExecutorMatchesDES: the parallel executor must
+// produce the exact distances and virtual-time stats of the DES, on
+// every preset the executor targets (shared harness: asynctest).
+func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
+	asynctest.CheckParallelMatchesDES(t, asynctest.Stalenesses(), asyncParityRunner(t))
+}
+
+// TestAsyncCrashParity: executor parity under worker crashes — and,
+// via the runner's Dijkstra check, exactness of the recovered
+// distances on every crashy run.
+func TestAsyncCrashParity(t *testing.T) {
+	run := asyncParityRunner(t)
+	asynctest.CheckCrashParity(t, asynctest.Stalenesses(), nil, run)
+	asynctest.CheckCrashParity(t, []int{2}, recovery.EverySteps(4), run)
 }
 
 func TestAsyncValidation(t *testing.T) {

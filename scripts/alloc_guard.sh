@@ -1,33 +1,51 @@
 #!/usr/bin/env sh
-# alloc_guard.sh — benchmem regression guard for the speculated step
-# path of the parallel async executor.
+# alloc_guard.sh — benchmem regression guard for the async runtime's
+# hot paths.
 #
-# Runs BenchmarkAsyncParallel/pagerank/parallel (the configuration whose
-# steps are ~100% speculated) with -benchmem and fails when allocs/op
-# exceeds the committed threshold. The run is deterministic, so
-# allocs/op is stable across machines: after PR 3's scratch-buffer reuse
-# it sits around 1.8K per full run (see BENCH_PR3.json for the 5.6K
-# pre-change value). The threshold leaves headroom for runtime/GC
-# bookkeeping noise while still catching any per-step allocation sneaking
-# back into the speculation hot path.
+# Guards two budgets:
 #
-# Usage: scripts/alloc_guard.sh [max_allocs_per_op]
+#   1. The crash-free speculated step path
+#      (BenchmarkAsyncParallel/pagerank/parallel, ~100% of whose steps
+#      speculate): after PR 3's scratch-buffer reuse it sits around
+#      1.8K allocs/op (see BENCH_PR3.json for the 5.6K pre-change
+#      value), and the worker-crash fault model of PR 4 must stay inert
+#      on it — its journaling and checkpoint machinery only activates
+#      when CrashMTTF or a checkpoint policy is set. Threshold 2500.
+#
+#   2. The recovery path (BenchmarkAsyncRecovery/mttf=1s: crashes,
+#      checkpoints, restore+replay all active): sits around 2.3K
+#      allocs/op (BENCH_PR4.json is the pre-recovery baseline).
+#      Threshold 3500 keeps the journal/checkpoint bookkeeping from
+#      growing a per-step allocation.
+#
+# Runs are deterministic, so allocs/op is stable across machines; the
+# thresholds leave headroom for runtime/GC bookkeeping noise.
+#
+# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs]
 set -eu
 
 max=${1:-2500}
+max_recovery=${2:-3500}
 cd "$(dirname "$0")/.."
 
-out=$(go test -run xxx -bench 'BenchmarkAsyncParallel/pagerank/parallel' -benchmem -benchtime 3x .)
-echo "$out"
-allocs=$(echo "$out" | awk '$1 ~ /^BenchmarkAsyncParallel\/pagerank\/parallel/ {
-	for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i
-}')
-if [ -z "$allocs" ]; then
-	echo "alloc_guard: benchmark reported no allocs/op" >&2
-	exit 1
-fi
-if [ "$allocs" -gt "$max" ]; then
-	echo "alloc_guard: FAIL — $allocs allocs/op exceeds the committed threshold $max" >&2
-	exit 1
-fi
-echo "alloc_guard: ok — $allocs allocs/op <= $max"
+check() {
+	bench=$1
+	limit=$2
+	out=$(go test -run xxx -bench "$bench" -benchmem -benchtime 3x .)
+	echo "$out"
+	allocs=$(echo "$out" | awk -v pat="$bench" '$1 ~ pat {
+		for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i
+	}' | head -n 1)
+	if [ -z "$allocs" ]; then
+		echo "alloc_guard: benchmark $bench reported no allocs/op" >&2
+		exit 1
+	fi
+	if [ "$allocs" -gt "$limit" ]; then
+		echo "alloc_guard: FAIL — $bench: $allocs allocs/op exceeds the committed threshold $limit" >&2
+		exit 1
+	fi
+	echo "alloc_guard: ok — $bench: $allocs allocs/op <= $limit"
+}
+
+check 'BenchmarkAsyncParallel/pagerank/parallel' "$max"
+check 'BenchmarkAsyncRecovery/mttf=1s' "$max_recovery"
