@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/async"
+	"repro/internal/cc"
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/harness"
@@ -550,6 +552,75 @@ func BenchmarkAsyncParallel(b *testing.B) {
 				b.ReportMetric(float64(res.Stats.SpecDepth), "spec-depth")
 			}
 		})
+	}
+}
+
+// BenchmarkAsyncAdaptive measures the adaptive staleness-control
+// subsystem (internal/adapt) on async PageRank over the cross-rack
+// cluster — the setting where gate waits are material: the static
+// DefaultStaleness bound against the aimd and drift per-worker
+// controllers, on the parallel executor so the controller's
+// monotonically-safe bound consumption rides the speculation hot path.
+// Reported metrics expose the trade the controller navigates
+// (gate-wait time vs mean steps) and its trajectory; run with -benchmem
+// to track the adaptive path's allocations (scripts/alloc_guard.sh
+// enforces the budget in CI).
+func BenchmarkAsyncAdaptive(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		pol  adapt.Policy
+	}{
+		{"fixed", nil},
+		{"aimd", adapt.AIMDDefault()},
+		{"drift", adapt.DriftDefault()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pagerank.RunAsync(cluster.New(cluster.EC2CrossRackCluster()), subs,
+					pagerank.DefaultConfig(),
+					async.Options{Staleness: harness.DefaultStaleness, Executor: async.Parallel, Adapt: tc.pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-async")
+				b.ReportMetric(res.Stats.GateWaitTime.Seconds(), "gate-wait-seconds")
+				b.ReportMetric(res.Stats.StalenessMean, "staleness-mean")
+				b.ReportMetric(float64(res.Stats.AdaptRaises+res.Stats.AdaptCuts), "bound-changes")
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncCC measures the connected-components workload
+// (internal/cc) end to end on the async runtime: min-label propagation
+// is monotone, so like SSSP it is exact at any staleness.
+func BenchmarkAsyncCC(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := cc.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs, cc.Config{},
+			async.Options{Staleness: harness.DefaultStaleness})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Stats.Duration.Seconds(), "sim-seconds-async")
+		b.ReportMetric(float64(res.Components()), "components")
 	}
 }
 

@@ -23,6 +23,11 @@
 //	                   traffic are material
 //	stalenessclue      the staleness sweep on the 460-node CluE cluster
 //	                   model (higher JobOverhead/AsyncSyncOverhead)
+//	adaptive           fixed-vs-adaptive staleness sweep (internal/adapt)
+//	                   on the cross-rack cluster: every fixed bound
+//	                   against the aimd and drift per-worker controllers,
+//	                   with gate-wait time and the controller trajectory
+//	adaptiveclue       the same sweep on the 460-node CluE model
 //	parallel           wall-clock cores-scaling figure: async PageRank
 //	                   under the parallel executor at 1..8 goroutines vs
 //	                   the sequential DES (identical virtual-time results)
@@ -34,9 +39,19 @@
 //	                   converge across checkpoint cadences under several
 //	                   failure regimes, with the checkpoint-write vs
 //	                   recovery-replay decomposition
-//	run                run PageRank, SSSP and K-Means end to end in the
-//	                   mode selected by -mode/-staleness
+//	run                run PageRank, SSSP, connected components and
+//	                   K-Means end to end in the mode selected by
+//	                   -mode/-staleness (cc is async-only: label
+//	                   propagation has no MapReduce formulation here)
 //	all                everything above except run
+//
+// -staleness takes a fixed bound ("4"; "inf" or any negative value =
+// unbounded free-running) or an adaptive staleness-control policy:
+// "adaptive:aimd[:START[:MAX[:STALL]]]" (additive raise on gate waits,
+// multiplicative cut on progress stalls) or "adaptive:drift[:CAP]"
+// (ASAP-style accumulated-drift budget). Policies re-schedule each
+// worker's bound during the run; results stay deterministic and
+// executor-independent.
 //
 // -parallel runs every async-mode experiment on the wall-clock-parallel
 // executor (-workers caps its goroutines); simulated results are
@@ -66,7 +81,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
+	"repro/internal/adapt"
 	"repro/internal/async"
 	"repro/internal/harness"
 	"repro/internal/recovery"
@@ -76,8 +93,8 @@ func main() {
 	scale := flag.Int("scale", 8, "workload scale divisor; 1 = paper-size inputs")
 	verbose := flag.Bool("v", false, "print per-run progress")
 	mode := flag.String("mode", "general", "scheduling mode for 'run': general, eager or async")
-	staleness := flag.Int("staleness", harness.DefaultStaleness,
-		"staleness bound S for async mode; negative = unbounded free-running")
+	staleness := flag.String("staleness", strconv.Itoa(harness.DefaultStaleness),
+		"staleness for async mode: a fixed bound S (negative or inf = unbounded), or adaptive:aimd[:START[:MAX[:STALL]]] / adaptive:drift[:CAP] for per-worker adaptive control")
 	parallel := flag.Bool("parallel", false,
 		"execute async runs on the wall-clock-parallel executor (identical simulated results)")
 	workers := flag.Int("workers", 0,
@@ -90,7 +107,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-mttf T] [-ckpt P] [-cpuprofile F] [-memprofile F] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue parallel parallelhpc recovery run all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue adaptive adaptiveclue parallel parallelhpc recovery run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -102,11 +119,16 @@ func main() {
 	s := harness.NewSuite(*scale)
 	s.Quiet = !*verbose
 	s.Out = os.Stderr
-	if *staleness < 0 {
-		s.AsyncStaleness = async.Unbounded
-	} else {
-		s.AsyncStaleness = *staleness
+	sv, spol, serr := adapt.ParseStaleness(*staleness)
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "asyncmr: %v\n", serr)
+		os.Exit(2)
 	}
+	if sv < 0 {
+		sv = async.Unbounded
+	}
+	s.AsyncStaleness = sv
+	s.AdaptPolicy = spol
 	if *parallel {
 		s.AsyncExecutor = async.Parallel
 	}
@@ -232,6 +254,18 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		f.Render(out)
+	case "adaptive":
+		f, err := s.FigureAdaptive()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
+	case "adaptiveclue":
+		f, err := s.FigureAdaptiveCluE()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
 	case "parallel":
 		f, err := s.FigureParallelScaling()
 		if err != nil {
@@ -255,7 +289,13 @@ func run(s *harness.Suite, what, mode string) error {
 		if err != nil {
 			return err
 		}
-		harness.RenderWorkloadRows(out, rows, s.AsyncStaleness)
+		label := strconv.Itoa(s.AsyncStaleness)
+		if s.AdaptPolicy != nil {
+			label = s.AdaptPolicy.String()
+		} else if s.AsyncStaleness < 0 {
+			label = "unbounded"
+		}
+		harness.RenderWorkloadRows(out, rows, label)
 	case "all":
 		s.Table1(out)
 		if err := s.Table2(out); err != nil {
@@ -306,6 +346,16 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		fsc.Render(out)
+		fad, err := s.FigureAdaptive()
+		if err != nil {
+			return err
+		}
+		fad.Render(out)
+		fac, err := s.FigureAdaptiveCluE()
+		if err != nil {
+			return err
+		}
+		fac.Render(out)
 		fp, err := s.FigureParallelScaling()
 		if err != nil {
 			return err

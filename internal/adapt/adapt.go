@@ -1,0 +1,392 @@
+// Package adapt is the adaptive staleness-control subsystem of the
+// asynchronous runtime: a deterministic per-worker feedback controller
+// that re-schedules each worker's effective staleness bound S(w) during
+// the run, from the signals already flowing through the scheduler core
+// (gate-wait durations, steps since the last material publication,
+// publish lag behind neighbors).
+//
+// The source paper fixes S globally and up front, but the right bound
+// varies by preset, workload, and phase of the run: lockstep (S=0) pays
+// tens of thousands of gate waits on a cross-rack cluster, while
+// free-running trades ~12% extra time in stale steps (EXPERIMENTS.md).
+// The controller follows the direction of history-aware asynchrony
+// (Soori et al.'s ASYNC) and bounded-approximation asynchrony (Kadav &
+// Kruus's ASAP): observe how the asynchrony budget is actually being
+// spent and move the bound per worker instead of picking one number for
+// the whole cluster.
+//
+// Determinism: the controller itself is pure bookkeeping. All its
+// decisions are made on the engine's scheduling goroutine, at step
+// boundaries and gate-wait bookings — points that both executors (the
+// sequential DES and the wall-clock-parallel executor) process in
+// identical strict event order — and a policy is a pure function of the
+// worker's accumulated Signals. Replaying a configuration therefore
+// replays every controller decision, and the two executors see
+// identical bound trajectories.
+//
+// Monotonic safety under speculation: a worker's bound changes only
+// while the engine is processing that worker's own phases (its gate
+// booking or its completed step), never while the worker's next event
+// sits in the queue. The parallel executor's admission therefore reads
+// the same bound when it dispatches a speculative step as the canonical
+// gate reads when the event pops — the bound in force at the step's
+// read time — so a later cut can never invalidate an already-admitted
+// speculation, mirroring how crash events only ever delay publications.
+package adapt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Signals is one worker's accumulated controller input, maintained by
+// the engine on the scheduling goroutine. Policies read it; only the
+// Controller writes it.
+type Signals struct {
+	// Bound is the staleness bound currently in force for the worker
+	// (negative = free-running). It is the policy's own previous output.
+	Bound int
+	// Steps counts the worker's completed steps; Publishes the subset
+	// that published a material change.
+	Steps     int
+	Publishes int
+	// StallSteps counts consecutive completed steps that published
+	// nothing — the wasted/extra-step estimate: the worker is spinning
+	// on inputs too stale to move its state materially.
+	StallSteps int
+	// GateWaits counts staleness-gate waits booked for this worker, and
+	// WaitTime their cumulative virtual duration (waits on a version
+	// that exists but is not yet visible are priced at booking; waits on
+	// a version that does not exist yet are measured when the laggard's
+	// publication releases the worker). LastWait is the most recent
+	// priced-at-booking wait.
+	GateWaits int
+	WaitTime  simtime.Duration
+	LastWait  simtime.Duration
+	// Lag is the worker's newest observed publish lag: the largest
+	// number of published-but-unconsumed versions across the partitions
+	// it reads, sampled at its last completed step. It estimates the
+	// drift between the worker's view and the frontier (the ASAP-style
+	// signal). Maintained only for policies that declare NeedsLag.
+	Lag int
+}
+
+// Policy decides a worker's next staleness bound from its signals. A
+// policy must be a pure function of the Signals it is handed (no
+// internal mutable state): that is what lets one Policy value drive
+// many runs and both executors deterministically.
+type Policy interface {
+	// Name is the short policy family name ("fixed", "aimd", "drift").
+	Name() string
+	// String is the CLI/figure spelling; Parse round-trips it.
+	String() string
+	// Init returns every worker's starting bound.
+	Init() int
+	// OnGateWait is consulted when a staleness-gate wait is booked for
+	// the worker, and returns the worker's new bound.
+	OnGateWait(sig *Signals) int
+	// OnStep is consulted after each completed step, and returns the
+	// worker's new bound.
+	OnStep(sig *Signals) int
+	// NeedsLag reports whether the policy reads Signals.Lag, so the
+	// engine can skip the per-step neighbor scan for policies that
+	// don't.
+	NeedsLag() bool
+}
+
+// Fixed returns the static policy: every worker keeps bound s for the
+// whole run (negative = free-running). It is the identity controller —
+// an engine run under Fixed(s) is bit-identical to one with the
+// controller absent and a global bound s.
+func Fixed(s int) Policy { return fixedPolicy{s} }
+
+type fixedPolicy struct{ s int }
+
+func (p fixedPolicy) Name() string                { return "fixed" }
+func (p fixedPolicy) Init() int                   { return p.s }
+func (p fixedPolicy) OnGateWait(sig *Signals) int { return sig.Bound }
+func (p fixedPolicy) OnStep(sig *Signals) int     { return sig.Bound }
+func (p fixedPolicy) NeedsLag() bool              { return false }
+func (p fixedPolicy) String() string {
+	if p.s < 0 {
+		return "fixed:inf"
+	}
+	return fmt.Sprintf("fixed:%d", p.s)
+}
+
+// AIMD defaults (see AIMDDefault).
+const (
+	DefaultAIMDStart = 1
+	DefaultAIMDMax   = 16
+	DefaultAIMDStall = 2
+)
+
+// AIMD returns the additive-increase/multiplicative-decrease policy:
+// every gate wait raises the worker's bound by one (the bound is too
+// tight — the worker is blocking on laggards), up to max; every run of
+// stall consecutive steps without a material publication halves it (the
+// bound is too loose — the worker is spinning on stale inputs, doing
+// extra steps that move nothing), down to zero (lockstep). The
+// TCP-style asymmetry probes for head-room gently and backs off from
+// waste fast.
+func AIMD(start, max, stall int) (Policy, error) {
+	switch {
+	case start < 0:
+		return nil, fmt.Errorf("adapt: aimd start bound must be >= 0, got %d", start)
+	case max < start:
+		return nil, fmt.Errorf("adapt: aimd max bound %d below start %d", max, start)
+	case stall < 1:
+		return nil, fmt.Errorf("adapt: aimd stall threshold must be >= 1, got %d", stall)
+	}
+	return aimdPolicy{start: start, max: max, stall: stall}, nil
+}
+
+// AIMDDefault returns AIMD with the default parameters (start 1, max
+// 16, stall threshold 2).
+func AIMDDefault() Policy {
+	p, _ := AIMD(DefaultAIMDStart, DefaultAIMDMax, DefaultAIMDStall)
+	return p
+}
+
+type aimdPolicy struct{ start, max, stall int }
+
+func (p aimdPolicy) Name() string   { return "aimd" }
+func (p aimdPolicy) Init() int      { return p.start }
+func (p aimdPolicy) NeedsLag() bool { return false }
+func (p aimdPolicy) String() string {
+	return fmt.Sprintf("aimd:%d:%d:%d", p.start, p.max, p.stall)
+}
+
+func (p aimdPolicy) OnGateWait(sig *Signals) int {
+	if sig.Bound < p.max {
+		return sig.Bound + 1
+	}
+	return sig.Bound
+}
+
+func (p aimdPolicy) OnStep(sig *Signals) int {
+	if sig.StallSteps >= p.stall {
+		return sig.Bound / 2
+	}
+	return sig.Bound
+}
+
+// DefaultDriftCap is Drift's default accumulated-drift budget.
+const DefaultDriftCap = 8
+
+// Drift returns the ASAP-style bounded-drift policy: the worker's
+// asynchrony budget is cap versions of total drift between its view and
+// the frontier. A worker that is lag versions behind on reading its
+// neighbors may lead by at most cap-lag, so its bound is cap minus its
+// observed publish lag (floored at zero): workers whose view has
+// drifted far run near-lockstep until they catch up, fully-caught-up
+// workers get the whole budget.
+func Drift(cap int) (Policy, error) {
+	if cap < 0 {
+		return nil, fmt.Errorf("adapt: drift cap must be >= 0, got %d", cap)
+	}
+	return driftPolicy{cap: cap}, nil
+}
+
+// DriftDefault returns Drift with the default cap.
+func DriftDefault() Policy {
+	p, _ := Drift(DefaultDriftCap)
+	return p
+}
+
+type driftPolicy struct{ cap int }
+
+func (p driftPolicy) Name() string                { return "drift" }
+func (p driftPolicy) Init() int                   { return p.cap }
+func (p driftPolicy) OnGateWait(sig *Signals) int { return sig.Bound }
+func (p driftPolicy) NeedsLag() bool              { return true }
+func (p driftPolicy) String() string              { return fmt.Sprintf("drift:%d", p.cap) }
+
+func (p driftPolicy) OnStep(sig *Signals) int {
+	b := p.cap - sig.Lag
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Parse round-trips a policy spelling: "fixed:S" (S an integer or
+// "inf"), "aimd[:START[:MAX[:STALL]]]", or "drift[:CAP]".
+func Parse(s string) (Policy, error) {
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	ints := func(defaults ...int) ([]int, error) {
+		out := append([]int(nil), defaults...)
+		if len(parts)-1 > len(out) {
+			return nil, fmt.Errorf("adapt: policy %q has %d parameters, want <= %d", s, len(parts)-1, len(out))
+		}
+		for i, f := range parts[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("adapt: bad policy parameter %q in %q", f, s)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch parts[0] {
+	case "fixed":
+		if len(parts) == 2 && parts[1] == "inf" {
+			return Fixed(-1), nil
+		}
+		v, err := ints(0)
+		if err != nil {
+			return nil, err
+		}
+		return Fixed(v[0]), nil
+	case "aimd":
+		v, err := ints(DefaultAIMDStart, DefaultAIMDMax, DefaultAIMDStall)
+		if err != nil {
+			return nil, err
+		}
+		return AIMD(v[0], v[1], v[2])
+	case "drift":
+		v, err := ints(DefaultDriftCap)
+		if err != nil {
+			return nil, err
+		}
+		return Drift(v[0])
+	default:
+		return nil, fmt.Errorf("adapt: unknown policy %q (want fixed:S, aimd[:START[:MAX[:STALL]]] or drift[:CAP])", s)
+	}
+}
+
+// ParseStaleness parses the CLI's -staleness value: a plain integer is
+// a fixed global bound ("4"; negative or "inf" = unbounded, returned
+// with a nil Policy — the engine's static fast path), and
+// "adaptive:POLICY" selects a controller policy (the returned staleness
+// is the policy's initial bound, for labels and defaults).
+func ParseStaleness(s string) (staleness int, pol Policy, err error) {
+	s = strings.TrimSpace(s)
+	if s == "inf" {
+		return -1, nil, nil
+	}
+	if v, aerr := strconv.Atoi(s); aerr == nil {
+		return v, nil, nil
+	}
+	spec, ok := strings.CutPrefix(s, "adaptive:")
+	if !ok {
+		return 0, nil, fmt.Errorf("adapt: bad staleness %q (want an integer, inf, or adaptive:POLICY)", s)
+	}
+	pol, err = Parse(spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	return pol.Init(), pol, nil
+}
+
+// Controller owns the per-worker signals and bound trajectory of one
+// run. All methods must be called from the engine's scheduling
+// goroutine; the Controller performs no synchronization of its own.
+type Controller struct {
+	pol     Policy
+	sig     []Signals
+	needLag bool
+
+	raises, cuts int64
+	samples      int64
+	sumBound     float64
+	maxBound     int
+}
+
+// NewController builds the controller for n workers, seeding every
+// worker's bound from the policy.
+func NewController(pol Policy, n int) *Controller {
+	c := &Controller{pol: pol, sig: make([]Signals, n), needLag: pol.NeedsLag(), maxBound: pol.Init()}
+	for w := range c.sig {
+		c.sig[w].Bound = pol.Init()
+	}
+	return c
+}
+
+// Policy returns the controller's policy.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// Bound returns worker w's staleness bound currently in force
+// (negative = free-running).
+func (c *Controller) Bound(w int) int { return c.sig[w].Bound }
+
+// NeedsLag reports whether StepDone wants the lag signal computed.
+func (c *Controller) NeedsLag() bool { return c.needLag }
+
+// GateWait books one staleness-gate wait for worker w and consults the
+// policy. wait is the wait's virtual duration when it is known at
+// booking (a wake scheduled at a version's visibility time), zero when
+// the worker blocks on a version that does not exist yet (measure that
+// with AddWaitTime at release). Reports whether the bound changed.
+func (c *Controller) GateWait(w int, wait simtime.Duration) bool {
+	sig := &c.sig[w]
+	sig.GateWaits++
+	sig.WaitTime += wait
+	sig.LastWait = wait
+	return c.apply(sig, c.pol.OnGateWait(sig))
+}
+
+// AddWaitTime accounts a gate wait measured at release time (the
+// blocked-on-a-laggard case, whose duration is unknown at booking).
+func (c *Controller) AddWaitTime(w int, wait simtime.Duration) {
+	c.sig[w].WaitTime += wait
+}
+
+// StepDone records worker w's completed step (and whether it published
+// a material change), samples the bound that was in force for it, and
+// consults the policy. lag is the worker's current publish lag (pass 0
+// unless NeedsLag). Reports whether the bound changed.
+func (c *Controller) StepDone(w int, published bool, lag int) bool {
+	sig := &c.sig[w]
+	sig.Steps++
+	if published {
+		sig.Publishes++
+		sig.StallSteps = 0
+	} else {
+		sig.StallSteps++
+	}
+	sig.Lag = lag
+	c.samples++
+	c.sumBound += float64(sig.Bound)
+	return c.apply(sig, c.pol.OnStep(sig))
+}
+
+// apply installs a policy decision, counting raises and cuts and
+// tracking the largest bound ever in force.
+func (c *Controller) apply(sig *Signals, b int) bool {
+	if b == sig.Bound {
+		return false
+	}
+	if b > sig.Bound {
+		c.raises++
+	} else {
+		c.cuts++
+	}
+	sig.Bound = b
+	if b > c.maxBound {
+		c.maxBound = b
+	}
+	return true
+}
+
+// Raises and Cuts count the controller's bound changes over the run.
+func (c *Controller) Raises() int64 { return c.raises }
+
+// Cuts counts downward bound changes; see Raises.
+func (c *Controller) Cuts() int64 { return c.cuts }
+
+// StalenessMean is the mean bound in force across executed steps (each
+// step samples its worker's bound). Runs with free-running bounds
+// contribute their negative sentinel.
+func (c *Controller) StalenessMean() float64 {
+	if c.samples == 0 {
+		return 0
+	}
+	return c.sumBound / float64(c.samples)
+}
+
+// StalenessMax is the largest bound ever in force on any worker.
+func (c *Controller) StalenessMax() int { return c.maxBound }

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/async"
 	"repro/internal/cluster"
 	"repro/internal/recovery"
@@ -44,19 +45,22 @@ func Presets() []*cluster.Config {
 func Stalenesses() []int { return []int{0, 2, async.Unbounded} }
 
 // StatsEqual fails the test unless every virtual-time field of the two
-// runs matches — including the crash fault model's counters. Speculated
-// and SpecDepth are the executor-specific observability counters and
-// are excluded.
+// runs matches — including the crash fault model's and the staleness
+// controller's counters. Speculated and SpecDepth are the
+// executor-specific observability counters and are excluded.
 func StatsEqual(t *testing.T, label string, des, par *async.RunStats) {
 	t.Helper()
 	if des.Steps != par.Steps || des.Publishes != par.Publishes ||
 		des.PushedBytes != par.PushedBytes || des.GateWaits != par.GateWaits ||
+		des.GateWaitTime != par.GateWaitTime ||
 		des.MaxLead != par.MaxLead || des.Failures != par.Failures ||
 		des.Converged != par.Converged || des.Duration != par.Duration ||
 		des.MeanSteps != par.MeanSteps ||
 		des.Crashes != par.Crashes || des.Recoveries != par.Recoveries ||
 		des.LostSteps != par.LostSteps || des.Checkpoints != par.Checkpoints ||
-		des.CheckpointTime != par.CheckpointTime || des.RecoveryTime != par.RecoveryTime {
+		des.CheckpointTime != par.CheckpointTime || des.RecoveryTime != par.RecoveryTime ||
+		des.AdaptRaises != par.AdaptRaises || des.AdaptCuts != par.AdaptCuts ||
+		des.StalenessMean != par.StalenessMean || des.StalenessMax != par.StalenessMax {
 		t.Fatalf("%s: executors diverged:\nDES:      %+v\nParallel: %+v", label, des, par)
 	}
 	if !reflect.DeepEqual(des.PerWorkerSteps, par.PerWorkerSteps) {
@@ -122,4 +126,71 @@ func parityLabel(cfg *cluster.Config, s int) string {
 		return cfg.Name + "/S=inf"
 	}
 	return cfg.Name + "/S=" + strconv.Itoa(s)
+}
+
+// AdaptivePolicies is the policy axis of the adaptive-mode parity
+// sweeps: both dynamic controllers at their default parameters, plus a
+// deliberately twitchy aimd (lockstep start, tiny cap, cut after every
+// stalled step) that maximizes mid-run bound changes — the hard case
+// for speculation under dynamic S.
+func AdaptivePolicies() []adapt.Policy {
+	twitchy, err := adapt.AIMD(0, 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	return []adapt.Policy{adapt.AIMDDefault(), adapt.DriftDefault(), twitchy}
+}
+
+// CheckAdaptiveParity is the executor-parity contract under adaptive
+// staleness control: for every preset × adaptive policy, the DES and
+// parallel executors must report identical virtual-time stats —
+// including the controller's AdaptRaises/AdaptCuts/StalenessMean/Max
+// trajectory — and identical converged state, and the controller must
+// have actually moved bounds somewhere in the sweep (otherwise the
+// parity proves nothing about dynamic S).
+func CheckAdaptiveParity(t *testing.T, run Runner) {
+	t.Helper()
+	var moved bool
+	for _, cfg := range Presets() {
+		for _, pol := range AdaptivePolicies() {
+			opt := async.Options{Adapt: pol}
+			opt.Executor = async.DES
+			desStats, desState := run(t, cfg, opt)
+			opt.Executor = async.Parallel
+			parStats, parState := run(t, cfg, opt)
+			label := cfg.Name + "/" + pol.String()
+			StatsEqual(t, label, desStats, parStats)
+			if !reflect.DeepEqual(desState, parState) {
+				t.Fatalf("%s: converged state diverged between executors", label)
+			}
+			if desStats.AdaptRaises+desStats.AdaptCuts > 0 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no adaptive policy changed any bound on any preset; the adaptive parity sweep is vacuous")
+	}
+}
+
+// CheckFixedPolicyIdentity pins that the explicit fixed policy is the
+// identity controller: for each preset × staleness, a run with
+// Adapt=adapt.Fixed(S) must be bit-identical — stats and converged
+// state — to the plain engine run with the static bound S.
+func CheckFixedPolicyIdentity(t *testing.T, stalenesses []int, run Runner) {
+	t.Helper()
+	for _, cfg := range Presets() {
+		for _, s := range stalenesses {
+			plainStats, plainState := run(t, cfg, async.Options{Staleness: s})
+			fixedStats, fixedState := run(t, cfg, async.Options{Staleness: s, Adapt: adapt.Fixed(s)})
+			label := parityLabel(cfg, s) + "/fixed-identity"
+			StatsEqual(t, label, plainStats, fixedStats)
+			if fixedStats.AdaptRaises != 0 || fixedStats.AdaptCuts != 0 {
+				t.Fatalf("%s: fixed policy changed bounds: %+v", label, fixedStats)
+			}
+			if !reflect.DeepEqual(plainState, fixedState) {
+				t.Fatalf("%s: converged state diverged from the static-bound engine", label)
+			}
+		}
+	}
 }

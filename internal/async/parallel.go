@@ -219,8 +219,14 @@ func (s *parallelScheduler[D]) tryDispatch(p int, frontier simtime.Duration) {
 	}
 	// Admission passed: every version visible at t is final, so the gate
 	// verdict is final too. A gate that would need the idle/settled
-	// exemption runs inline instead.
-	if s.opt.Staleness >= 0 && !s.gateCertain(st, t) {
+	// exemption runs inline instead. The bound read here is the bound
+	// the canonical gate will read when the event pops: the staleness
+	// controller only moves a worker's bound while processing that
+	// worker's own phases, never while its event is pending — the
+	// monotonic-safety contract that keeps speculation valid under
+	// dynamic S (a cut between dispatch and pop is impossible by
+	// construction).
+	if bound := s.ctrl.Bound(p); bound >= 0 && !s.gateCertain(st, t, bound) {
 		return
 	}
 	for j, q := range st.neighbors {
@@ -246,9 +252,10 @@ func (s *parallelScheduler[D]) tryDispatch(p int, frontier simtime.Duration) {
 // gateCertain reports whether p's staleness gate at time t passes
 // without leaning on the idle/forced exemptions: admission has made the
 // visible versions final, but the exemptions can still flip as workers
-// settle.
-func (s *parallelScheduler[D]) gateCertain(st *workerState, t simtime.Duration) bool {
-	need := st.version - s.opt.Staleness
+// settle. bound is the worker's controller bound in force at dispatch
+// (= at the canonical gate; see tryDispatch).
+func (s *parallelScheduler[D]) gateCertain(st *workerState, t simtime.Duration, bound int) bool {
+	need := st.version - bound
 	if need <= 0 {
 		return true
 	}

@@ -16,9 +16,12 @@ func statsEqual(t *testing.T, label string, des, par *RunStats) {
 	t.Helper()
 	if des.Steps != par.Steps || des.Publishes != par.Publishes ||
 		des.PushedBytes != par.PushedBytes || des.GateWaits != par.GateWaits ||
+		des.GateWaitTime != par.GateWaitTime ||
 		des.MaxLead != par.MaxLead || des.Failures != par.Failures ||
 		des.Converged != par.Converged || des.Duration != par.Duration ||
-		des.MeanSteps != par.MeanSteps {
+		des.MeanSteps != par.MeanSteps ||
+		des.AdaptRaises != par.AdaptRaises || des.AdaptCuts != par.AdaptCuts ||
+		des.StalenessMean != par.StalenessMean || des.StalenessMax != par.StalenessMax {
 		t.Fatalf("%s: executors diverged:\nDES:      %+v\nParallel: %+v", label, des, par)
 	}
 	if !reflect.DeepEqual(des.PerWorkerSteps, par.PerWorkerSteps) {

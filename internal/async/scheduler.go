@@ -34,6 +34,7 @@ package async
 import (
 	"fmt"
 
+	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/recovery"
 	"repro/internal/simtime"
@@ -91,6 +92,15 @@ type Options struct {
 	// machinery is fully inert: no journaling, no extra RNG draws, and
 	// results bit-identical to a build without the fault model.
 	Checkpoint recovery.Policy
+	// Adapt selects the adaptive staleness-control policy
+	// (internal/adapt): the per-worker feedback controller that
+	// re-schedules each worker's effective bound from observed gate
+	// waits, progress stalls, and publish lag. nil keeps the static
+	// bound Staleness for the whole run (equivalent to
+	// adapt.Fixed(Staleness), bit for bit); with a non-nil policy,
+	// Staleness is ignored — the policy's Init defines every worker's
+	// starting bound.
+	Adapt adapt.Policy
 }
 
 // StepOutcome is what one worker step hands back to the engine.
@@ -179,8 +189,12 @@ type RunStats struct {
 	// traffic that replaces the shuffle.
 	Publishes   int64
 	PushedBytes int64
-	// GateWaits counts steps delayed by the staleness bound.
-	GateWaits int64
+	// GateWaits counts steps delayed by the staleness bound, and
+	// GateWaitTime their cumulative virtual duration — the total worker
+	// time spent parked at the gate (the quantity adaptive staleness
+	// control tries to shrink without spending extra stale steps).
+	GateWaits    int64
+	GateWaitTime simtime.Duration
 	// MaxLead is the largest observed lead of a worker's publication
 	// counter over a version it read from a still-active neighbor; the
 	// staleness invariant is MaxLead <= S for bounded runs. (Reads from
@@ -221,6 +235,18 @@ type RunStats struct {
 	Checkpoints    int64
 	CheckpointTime simtime.Duration
 	RecoveryTime   simtime.Duration
+	// AdaptRaises and AdaptCuts count the staleness controller's bound
+	// changes (internal/adapt): upward moves probing for head-room and
+	// downward moves backing off from waste. Both stay zero under the
+	// fixed policy. StalenessMean is the mean bound in force across
+	// executed steps and StalenessMax the largest bound ever in force on
+	// any worker — together the controller's observable trajectory
+	// (free-running bounds contribute their negative sentinel). All four
+	// are virtual-time quantities: identical across executors.
+	AdaptRaises   int64
+	AdaptCuts     int64
+	StalenessMean float64
+	StalenessMax  int
 	// SpecDepth is the peak number of speculated steps in flight at
 	// once — the usable width of the admission window, and the upper
 	// bound on wall-clock overlap. A parallel run whose SpecDepth stays
@@ -405,6 +431,18 @@ type core[D any] struct {
 	stepEvents int
 	err        error
 	onCrash    func(p int)
+
+	// Adaptive staleness control (internal/adapt). The controller owns
+	// each worker's effective bound; the core consults it at gate
+	// bookings and step boundaries — always on the scheduling goroutine,
+	// in event order, and only while processing that worker's own
+	// phases, which is what keeps dispatched speculations and their
+	// canonical gates reading the same bound. adaptCost prices one
+	// bound change onto the worker's critical path; needLag caches
+	// whether the policy wants the per-step publish-lag scan.
+	ctrl      *adapt.Controller
+	adaptCost simtime.Duration
+	needLag   bool
 }
 
 // newCore validates the workload and performs startup: version 0 of
@@ -457,6 +495,17 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 			k.workers[q].readers = append(k.workers[q].readers, p)
 		}
 	}
+
+	// Staleness controller setup: a nil policy is the static bound —
+	// adapt.Fixed is the identity controller, so the default path is
+	// bit-identical to the pre-controller engine.
+	pol := opt.Adapt
+	if pol == nil {
+		pol = adapt.Fixed(opt.Staleness)
+	}
+	k.ctrl = adapt.NewController(pol, n)
+	k.adaptCost = k.cfg.AdaptCost
+	k.needLag = k.ctrl.NeedsLag()
 
 	// Crash fault model setup. The model is active when the cluster
 	// schedules crashes or a checkpoint policy is set; either requires
@@ -671,19 +720,37 @@ func (k *core[D]) scheduleCrash(p int) {
 	}
 }
 
-// Gate applies the staleness bound; see Scheduler. With bound S,
-// partition p may not run a step while its publication counter leads the
-// visible version of any active neighbor by more than S.
+// Gate applies the staleness bound; see Scheduler. With bound S(p) —
+// the controller's bound in force for p — partition p may not run a
+// step while its publication counter leads the visible version of any
+// active neighbor by more than S(p). A booked wait is fed to the
+// staleness controller, whose decision (a raise probing for head-room
+// under the aimd policy) applies from p's next gate evaluation on;
+// since p's event has already been popped and any speculation for it
+// was either consumed or never dispatched (a dispatched speculation
+// implies a passing gate), the change can never invalidate in-flight
+// work.
 func (k *core[D]) Gate(p int) bool {
-	if k.opt.Staleness < 0 {
+	st := k.workers[p]
+	bound := k.ctrl.Bound(p)
+	if bound < 0 {
 		return true
 	}
-	st := k.workers[p]
-	q, wakeAt, wait := k.gateCheck(st, st.clock)
+	q, wakeAt, wait := k.gateCheck(st, st.clock, bound)
 	if !wait {
 		return true
 	}
 	k.stats.GateWaits++
+	var waited simtime.Duration
+	if q < 0 {
+		// The wake time is known at booking; the blocked-on-a-laggard
+		// case is measured when the publication releases the waiter.
+		waited = wakeAt - st.clock
+		k.stats.GateWaitTime += waited
+	}
+	if k.ctrl.GateWait(p, waited) {
+		st.clock += k.adaptCost
+	}
 	if q >= 0 {
 		// The needed version does not exist yet: sleep until q publishes
 		// or goes idle. p loses its pending event without a re-push, so
@@ -693,7 +760,11 @@ func (k *core[D]) Gate(p int) bool {
 		k.markReaders(p)
 	} else {
 		// The needed version exists but becomes visible only at wakeAt:
-		// wait for it in virtual time.
+		// wait for it in virtual time. (A controller decision charge may
+		// have pushed the worker's clock past the visibility time.)
+		if wakeAt < st.clock {
+			wakeAt = st.clock
+		}
 		k.schedule(p, wakeAt)
 	}
 	return false
@@ -791,6 +862,7 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 
 	if !out.Publish {
 		k.maybeCheckpoint(p)
+		k.adaptStep(p, false)
 		return nil
 	}
 	st.version++
@@ -812,7 +884,33 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 	}
 	k.blocked -= k.releaseGateWaiters(st)
 	k.maybeCheckpoint(p)
+	k.adaptStep(p, true)
 	return nil
+}
+
+// adaptStep feeds the completed (and priced, published,
+// waiter-released, possibly checkpointed) step into the staleness
+// controller at the step boundary, charging a bound change to the
+// worker's critical path. The publish-lag scan — the largest number of
+// published-but-unconsumed versions across the partitions p reads, the
+// drift policy's signal — runs only for policies that want it, so the
+// fixed and aimd hot paths pay no per-step neighbor loop. Latest is
+// read on the scheduling goroutine after this step's own publication,
+// a point both executors reach with identical store contents, so the
+// signal (and every decision derived from it) is executor-independent.
+func (k *core[D]) adaptStep(p int, published bool) {
+	st := k.workers[p]
+	lag := 0
+	if k.needLag {
+		for j, q := range st.neighbors {
+			if l := k.store.Latest(q) - st.consumed[j]; l > lag {
+				lag = l
+			}
+		}
+	}
+	if k.ctrl.StepDone(p, published, lag) {
+		st.clock += k.adaptCost
+	}
 }
 
 // maybeCheckpoint consults the run's checkpoint policy after a
@@ -902,6 +1000,10 @@ func (k *core[D]) Finish() (*RunStats, error) {
 	}
 	stats.Duration = latest
 	stats.MeanSteps = float64(stats.Steps) / float64(n)
+	stats.AdaptRaises = k.ctrl.Raises()
+	stats.AdaptCuts = k.ctrl.Cuts()
+	stats.StalenessMean = k.ctrl.StalenessMean()
+	stats.StalenessMax = k.ctrl.StalenessMax()
 
 	k.c.Account(func(m *cluster.Metrics) {
 		m.AsyncSteps += stats.Steps
@@ -911,6 +1013,8 @@ func (k *core[D]) Finish() (*RunStats, error) {
 		m.AsyncCrashes += stats.Crashes
 		m.AsyncRecoveries += stats.Recoveries
 		m.AsyncCheckpoints += stats.Checkpoints
+		m.AsyncAdaptRaises += stats.AdaptRaises
+		m.AsyncAdaptCuts += stats.AdaptCuts
 		m.ComputeOps += k.totalOps
 	})
 	k.c.Clock().Advance(stats.Duration)
@@ -920,13 +1024,20 @@ func (k *core[D]) Finish() (*RunStats, error) {
 // releaseGateWaiters reschedules every worker blocked on st (after st
 // published, idled, or was force-stopped) and returns how many were
 // released. Waiters re-run the full gate at their event, so a premature
-// wake only re-blocks.
+// wake only re-blocks. The measured wait — release time minus the
+// waiter's clock at booking — settles the gate-wait-time accounting the
+// booking deferred (the awaited version did not exist then, so the
+// duration was unknowable).
 func (k *core[D]) releaseGateWaiters(st *workerState) int {
 	released := len(st.gateWaiters)
 	for _, r := range st.gateWaiters {
 		wake := k.workers[r].clock
 		if st.clock > wake {
 			wake = st.clock
+		}
+		if d := wake - k.workers[r].clock; d > 0 {
+			k.stats.GateWaitTime += d
+			k.ctrl.AddWaitTime(r, d)
 		}
 		k.schedule(r, wake)
 	}
@@ -941,8 +1052,8 @@ func (k *core[D]) releaseGateWaiters(st *workerState) int {
 // Reads go through the per-neighbor cursors: gate reads and input reads
 // for one worker happen at the same non-decreasing clock, so they share
 // the cursor cache.
-func (k *core[D]) gateCheck(st *workerState, t simtime.Duration) (q int, wakeAt simtime.Duration, wait bool) {
-	need := st.version - k.opt.Staleness
+func (k *core[D]) gateCheck(st *workerState, t simtime.Duration, bound int) (q int, wakeAt simtime.Duration, wait bool) {
+	need := st.version - bound
 	if need <= 0 {
 		return -1, 0, false
 	}

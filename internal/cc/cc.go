@@ -1,0 +1,379 @@
+// Package cc implements connected components on the fully-asynchronous
+// bounded-staleness runtime (internal/async): the fourth workload on
+// the boundary-exchange Workload contract, next to PageRank, SSSP and
+// K-Means. Components are computed by min-label propagation over the
+// graph's undirected closure (weakly-connected components for directed
+// inputs): every node starts labelled with its own id and repeatedly
+// adopts the smallest label among its neighbors in either edge
+// direction. Label propagation is monotone — labels only ever decrease
+// — so, like SSSP, the asynchronous mode converges to the exact
+// component assignment at any staleness bound, which also makes the
+// workload a natural stress for the adaptive staleness controller
+// (internal/adapt): sparse cross-partition dependencies and bursty
+// label waves reward per-worker bounds.
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// Config tunes the asynchronous connected-components run.
+type Config struct {
+	// MaxLocalIters caps the local propagation sweeps inside one
+	// asynchronous step (0 = sweep to local convergence).
+	MaxLocalIters int
+}
+
+// AsyncResult of a fully-asynchronous connected-components run.
+type AsyncResult struct {
+	// Comp[u] is the smallest node id in u's weakly-connected component
+	// — the component representative. Propagation is monotone, so the
+	// asynchronous mode is exact at any staleness.
+	Comp []graph.NodeID
+	// Stats carries the asynchronous run's accounting.
+	Stats *async.RunStats
+}
+
+// Components counts the distinct components in a result.
+func (r *AsyncResult) Components() int {
+	n := 0
+	for u, c := range r.Comp {
+		if graph.NodeID(u) == c {
+			n++
+		}
+	}
+	return n
+}
+
+// asyncState is one partition's worker payload: local min-label
+// propagation plus the plan for reading neighbor border labels.
+type asyncState struct {
+	sub    *graph.SubGraph
+	comp   []graph.NodeID
+	active []bool
+	// inLocal is the partition-internal reverse adjacency (labels flow
+	// against edge direction too; SubGraph only stores the forward
+	// split).
+	inLocal [][]int32
+	// next is the reusable next-frontier buffer of the local sweeps,
+	// mirroring the engine's reusable step buffers: the hot per-step
+	// loop allocates nothing.
+	next []int32
+	// border lists local indices of nodes with cross-partition edges in
+	// either direction; the partition publishes their labels.
+	border  []int32
+	lastPub []graph.NodeID
+	// Cross-edge read plan: entry r relaxes node ghostNode[r] with
+	// inputs[ghostSlot[r]].Data[ghostIdx[r]] — covering both the remote
+	// sources of local in-edges and the remote targets of local
+	// out-edges, since labels propagate both ways.
+	ghostSlot []int32
+	ghostIdx  []int32
+	ghostNode []int32
+	neighbors []int
+}
+
+// asyncWorkload implements async.Workload for connected components; the
+// published data is the partition's border label vector.
+type asyncWorkload struct {
+	cfg    Config
+	states []*asyncState
+}
+
+func (w *asyncWorkload) Parts() int            { return len(w.states) }
+func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
+
+// asyncCkpt is one partition's checkpoint for the crash fault model:
+// labels, the active frontier, and the last published border labels are
+// the state that survives across steps.
+type asyncCkpt struct {
+	comp    []graph.NodeID
+	active  []bool
+	lastPub []graph.NodeID
+}
+
+// Checkpoint implements async.Recoverable.
+func (w *asyncWorkload) Checkpoint(p int) (any, int64) {
+	st := w.states[p]
+	c := &asyncCkpt{
+		comp:    append([]graph.NodeID(nil), st.comp...),
+		active:  append([]bool(nil), st.active...),
+		lastPub: append([]graph.NodeID(nil), st.lastPub...),
+	}
+	return c, 16 + 4*int64(len(c.comp)+len(c.lastPub)) + int64(len(c.active))
+}
+
+// Restore implements async.Recoverable: rewind to a checkpoint; replay
+// re-relaxes the journaled steps against the store's history.
+func (w *asyncWorkload) Restore(p int, state any) {
+	c := state.(*asyncCkpt)
+	st := w.states[p]
+	copy(st.comp, c.comp)
+	copy(st.active, c.active)
+	copy(st.lastPub, c.lastPub)
+}
+
+func (w *asyncWorkload) Init(p int) ([]graph.NodeID, int64) {
+	st := w.states[p]
+	return append([]graph.NodeID(nil), st.lastPub...), st.sub.Bytes
+}
+
+func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID]) async.StepOutcome[[]graph.NodeID] {
+	st := w.states[p]
+	sub := st.sub
+	var ops int64
+
+	// Relax against the neighbor snapshots; improvements seed the local
+	// frontier.
+	for r := range st.ghostNode {
+		cand := inputs[st.ghostSlot[r]].Data[st.ghostIdx[r]]
+		li := st.ghostNode[r]
+		if cand < st.comp[li] {
+			st.comp[li] = cand
+			st.active[li] = true
+		}
+	}
+	ops += int64(len(st.ghostNode))
+
+	// Local min-label sweeps over the active frontier, in both edge
+	// directions, until it drains (or the sweep cap leaves residual
+	// work for the next step).
+	sweeps := 0
+	maxSweeps := w.cfg.MaxLocalIters
+	if maxSweeps <= 0 {
+		maxSweeps = async.DefaultMaxSteps
+	}
+	for sweeps < maxSweeps {
+		next := st.next[:0]
+		for li := range st.active {
+			if !st.active[li] {
+				continue
+			}
+			st.active[li] = false
+			c := st.comp[li]
+			for _, dst := range sub.OutLocal[li] {
+				if c < st.comp[dst] {
+					st.comp[dst] = c
+					next = append(next, dst)
+				}
+			}
+			for _, src := range st.inLocal[li] {
+				if c < st.comp[src] {
+					st.comp[src] = c
+					next = append(next, src)
+				}
+			}
+			ops += int64(len(sub.OutLocal[li]) + len(st.inLocal[li]))
+		}
+		st.next = next
+		sweeps++
+		if len(next) == 0 {
+			break
+		}
+		for _, li := range next {
+			st.active[li] = true
+		}
+	}
+	frontierLeft := false
+	for li := range st.active {
+		if st.active[li] {
+			frontierLeft = true
+			break
+		}
+	}
+
+	// Publish border labels that improved; monotonicity means any
+	// change is material and the stream of publications is finite.
+	changed := false
+	for bi, li := range st.border {
+		if st.comp[li] < st.lastPub[bi] {
+			changed = true
+			break
+		}
+	}
+	out := async.StepOutcome[[]graph.NodeID]{
+		Ops:        ops,
+		LocalIters: int64(sweeps),
+		Quiescent:  !frontierLeft,
+	}
+	if changed {
+		pub := make([]graph.NodeID, len(st.border))
+		for bi, li := range st.border {
+			pub[bi] = st.comp[li]
+		}
+		copy(st.lastPub, pub)
+		out.Publish = true
+		out.Data = pub
+		out.Bytes = 16 + 4*int64(len(pub))
+	}
+	return out
+}
+
+// RunAsync executes connected components in the fully-asynchronous
+// bounded-staleness mode over the given sub-graphs. opt selects the
+// staleness bound (or an adaptive policy) and the executor;
+// async.Parallel overlaps partition label sweeps on real goroutines
+// with virtual-time results identical to the default sequential DES.
+func RunAsync(c *cluster.Cluster, subs []*graph.SubGraph, cfg Config, opt async.Options) (*AsyncResult, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("cc: no partitions")
+	}
+	w, n, err := buildAsyncWorkload(subs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := async.Run(c, w, opt)
+	if err != nil {
+		return nil, err
+	}
+	comp := make([]graph.NodeID, n)
+	for _, st := range w.states {
+		for li, u := range st.sub.Nodes {
+			comp[u] = st.comp[li]
+		}
+	}
+	return &AsyncResult{Comp: comp, Stats: stats}, nil
+}
+
+// buildAsyncWorkload precomputes border lists, the local reverse
+// adjacency, and the cross-edge read plan covering both edge
+// directions.
+func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int, error) {
+	n := 0
+	for _, s := range subs {
+		n += s.NumNodes()
+	}
+	owner := make([]int32, n)
+	borderIdx := make([]int32, n) // global node id -> border index on its owner
+	for i := range owner {
+		owner[i] = -1
+		borderIdx[i] = -1
+	}
+	for p, s := range subs {
+		for _, u := range s.Nodes {
+			if u < 0 || int(u) >= n {
+				return nil, 0, fmt.Errorf("cc: node id %d outside [0,%d)", u, n)
+			}
+			owner[u] = int32(p)
+		}
+	}
+	states := make([]*asyncState, len(subs))
+	for p, s := range subs {
+		m := s.NumNodes()
+		st := &asyncState{
+			sub:     s,
+			comp:    make([]graph.NodeID, m),
+			active:  make([]bool, m),
+			inLocal: make([][]int32, m),
+		}
+		for li, u := range s.Nodes {
+			st.comp[li] = u
+			// Every node is initially active: its own label must reach
+			// its local neighborhood even without any cross input.
+			st.active[li] = true
+			if len(s.OutRemote[li]) > 0 || len(s.InRemote[li]) > 0 {
+				borderIdx[u] = int32(len(st.border))
+				st.border = append(st.border, int32(li))
+			}
+		}
+		for li := range s.Nodes {
+			for _, dst := range s.OutLocal[li] {
+				st.inLocal[dst] = append(st.inLocal[dst], int32(li))
+			}
+		}
+		st.lastPub = make([]graph.NodeID, len(st.border))
+		for bi, li := range st.border {
+			st.lastPub[bi] = st.comp[li]
+		}
+		states[p] = st
+	}
+	// Read plans: labels cross the cut along out-edges in both
+	// directions, so partition p reads the remote source of every
+	// cross in-edge and the remote target of every cross out-edge.
+	slotOf := make([]int32, len(subs))
+	for p, s := range subs {
+		st := states[p]
+		for i := range slotOf {
+			slotOf[i] = -1
+		}
+		addRead := func(li int, remote graph.NodeID) error {
+			if remote < 0 || int(remote) >= n || owner[remote] < 0 {
+				return fmt.Errorf("cc: remote node %d has no owner", remote)
+			}
+			q := int(owner[remote])
+			slot := slotOf[q]
+			if slot < 0 {
+				slot = int32(len(st.neighbors))
+				slotOf[q] = slot
+				st.neighbors = append(st.neighbors, q)
+			}
+			bi := borderIdx[remote]
+			if bi < 0 {
+				return fmt.Errorf("cc: node %d not on partition %d's border", remote, q)
+			}
+			st.ghostSlot = append(st.ghostSlot, slot)
+			st.ghostIdx = append(st.ghostIdx, bi)
+			st.ghostNode = append(st.ghostNode, int32(li))
+			return nil
+		}
+		for li := range s.Nodes {
+			for _, src := range s.InRemote[li] {
+				if err := addRead(li, src); err != nil {
+					return nil, 0, err
+				}
+			}
+			for _, dst := range s.OutRemote[li] {
+				if err := addRead(li, dst); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	return &asyncWorkload{cfg: cfg, states: states}, n, nil
+}
+
+// Reference computes the exact weakly-connected components of g by
+// union-find, labelling each node with the smallest id in its
+// component: the oracle the asynchronous runs are checked against.
+func Reference(g *graph.Graph) []graph.NodeID {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for u, adj := range g.Out {
+		for _, v := range adj {
+			union(int32(u), v)
+		}
+	}
+	comp := make([]graph.NodeID, n)
+	// Two passes: root compression first, then the min-id label. With
+	// unions always attaching the larger root under the smaller, every
+	// root already is its component's minimum.
+	for u := range comp {
+		comp[u] = find(int32(u))
+	}
+	return comp
+}

@@ -1,0 +1,241 @@
+package cc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/async/asynctest"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/recovery"
+)
+
+// multiComponentGraph builds a directed graph with several weakly-
+// connected components of different shapes: directed rings (labels must
+// propagate against edge direction to close them), chains, a star, and
+// isolated nodes.
+func multiComponentGraph() *graph.Graph {
+	g := &graph.Graph{Out: make([][]graph.NodeID, 40)}
+	edge := func(u, v int) { g.Out[u] = append(g.Out[u], graph.NodeID(v)) }
+	// Component 0..9: a directed ring.
+	for u := 0; u < 10; u++ {
+		edge(u, (u+1)%10)
+	}
+	// Component 10..19: a chain pointing at its smallest node, so the
+	// min label must travel backwards along every edge.
+	for u := 11; u < 20; u++ {
+		edge(u, u-1)
+	}
+	// Component 20..29: a star out of its largest node.
+	for v := 20; v < 29; v++ {
+		edge(29, v)
+	}
+	// Component 30..34: a denser clump with both edge directions.
+	edge(30, 31)
+	edge(32, 31)
+	edge(33, 32)
+	edge(30, 34)
+	edge(34, 33)
+	// Nodes 35..39 stay isolated: singleton components.
+	return g
+}
+
+// spreadSubgraphs partitions g round-robin so every component straddles
+// partitions — the worst case for cross-partition label exchange.
+func spreadSubgraphs(t *testing.T, g *graph.Graph, k int) []*graph.SubGraph {
+	t.Helper()
+	parts := make([]int32, g.NumNodes())
+	for u := range parts {
+		parts[u] = int32(u % k)
+	}
+	subs, err := graph.BuildSubGraphs(g, parts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subs
+}
+
+func quietCluster() *cluster.Cluster {
+	cfg := cluster.EC2LargeCluster()
+	cfg.FailureProb = 0
+	cfg.StragglerJitter = 0
+	return cluster.New(cfg)
+}
+
+func TestAsyncMatchesReference(t *testing.T) {
+	g := multiComponentGraph()
+	want := Reference(g)
+	subs := spreadSubgraphs(t, g, 8)
+	res, err := RunAsync(quietCluster(), subs, Config{}, async.Options{Staleness: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("async cc did not converge")
+	}
+	if !reflect.DeepEqual(res.Comp, want) {
+		t.Fatalf("components diverged from union-find reference:\ngot  %v\nwant %v", res.Comp, want)
+	}
+	if res.Components() != 9 {
+		t.Fatalf("found %d components, want 9 (4 shapes + 5 singletons)", res.Components())
+	}
+}
+
+// TestAsyncExactAtAnyStaleness pins the monotonicity argument: like
+// SSSP, min-label propagation is exact at every staleness bound,
+// including free-running, and under the adaptive policies.
+func TestAsyncExactAtAnyStaleness(t *testing.T) {
+	g := multiComponentGraph()
+	want := Reference(g)
+	subs := spreadSubgraphs(t, g, 8)
+	opts := []async.Options{
+		{Staleness: 0},
+		{Staleness: 1},
+		{Staleness: async.Unbounded},
+	}
+	for _, pol := range asynctest.AdaptivePolicies() {
+		opts = append(opts, async.Options{Adapt: pol})
+	}
+	for _, opt := range opts {
+		res, err := RunAsync(quietCluster(), subs, Config{}, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if !res.Stats.Converged {
+			t.Fatalf("%+v: not converged", opt)
+		}
+		if !reflect.DeepEqual(res.Comp, want) {
+			t.Fatalf("%+v: wrong components", opt)
+		}
+	}
+}
+
+// TestAsyncGeneratedGraph runs cc on the paper's preferential-
+// attachment Graph A (scaled), partitioned by the real multilevel
+// partitioner, and checks against the union-find reference: the
+// integration path the harness uses.
+func TestAsyncGeneratedGraph(t *testing.T) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(64))
+	a, err := partition.Partition(g, 8, partition.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAsync(quietCluster(), subs, Config{}, async.Options{Staleness: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Comp, Reference(g)) {
+		t.Fatal("components diverged from union-find reference on Graph A")
+	}
+	if res.Stats.Steps == 0 || res.Stats.Publishes == 0 {
+		t.Fatalf("degenerate run: %+v", res.Stats)
+	}
+}
+
+// TestAsyncLocalIterCap: capping local sweeps leaves residual frontier
+// work for later steps but must not change the fixed point.
+func TestAsyncLocalIterCap(t *testing.T) {
+	g := multiComponentGraph()
+	subs := spreadSubgraphs(t, g, 4)
+	res, err := RunAsync(quietCluster(), subs, Config{MaxLocalIters: 1}, async.Options{Staleness: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Comp, Reference(g)) {
+		t.Fatal("sweep cap changed the fixed point")
+	}
+}
+
+// asyncParityRunner adapts cc to the shared executor-parity harness:
+// the converged state fingerprint is the full component vector.
+func asyncParityRunner(t *testing.T) asynctest.Runner {
+	g := multiComponentGraph()
+	subs := spreadSubgraphs(t, g, 8)
+	return func(t *testing.T, cfg *cluster.Config, opt async.Options) (*async.RunStats, any) {
+		res, err := RunAsync(cluster.New(cfg), subs, Config{}, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		return res.Stats, res.Comp
+	}
+}
+
+// TestAsyncParallelExecutorMatchesDES: the parity contract on every
+// cluster preset, via the shared asynctest harness.
+func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
+	asynctest.CheckParallelMatchesDES(t, asynctest.Stalenesses(), asyncParityRunner(t))
+}
+
+// TestAsyncAdaptiveParity: same contract under the adaptive staleness
+// controller, including the twitchy bound-changing policy.
+func TestAsyncAdaptiveParity(t *testing.T) {
+	asynctest.CheckAdaptiveParity(t, asyncParityRunner(t))
+}
+
+// TestAsyncFixedPolicyIdentity: the explicit fixed policy must be
+// bit-identical to the static-bound engine on this workload.
+func TestAsyncFixedPolicyIdentity(t *testing.T) {
+	asynctest.CheckFixedPolicyIdentity(t, asynctest.Stalenesses(), asyncParityRunner(t))
+}
+
+// TestAsyncCrashParity: executor parity with worker crashes striking
+// mid-run, without and with a checkpoint policy (the Recoverable
+// hooks' contract).
+func TestAsyncCrashParity(t *testing.T) {
+	run := asyncParityRunner(t)
+	asynctest.CheckCrashParity(t, []int{0, 2}, nil, run)
+	asynctest.CheckCrashParity(t, []int{2}, recovery.EverySteps(4), run)
+}
+
+// TestAsyncCrashRecoveryExact: crashes forced into the stepping phase
+// must leave the component assignment exact — recovery is visible only
+// in time.
+func TestAsyncCrashRecoveryExact(t *testing.T) {
+	g := multiComponentGraph()
+	subs := spreadSubgraphs(t, g, 8)
+	cfg := cluster.EC2LargeCluster()
+	cfg.FailureProb = 0
+	cfg.StragglerJitter = 0
+	clean, err := RunAsync(cluster.New(cfg), subs, Config{}, async.Options{Staleness: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashy := *cfg
+	crashy.CrashMTTF = clean.Stats.Duration / 4
+	res, err := RunAsync(cluster.New(&crashy), subs, Config{},
+		async.Options{Staleness: 2, Checkpoint: recovery.EverySteps(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Crashes == 0 {
+		t.Fatalf("no crashes at MTTF %v", crashy.CrashMTTF)
+	}
+	if !reflect.DeepEqual(res.Comp, Reference(g)) {
+		t.Fatal("crashy run diverged from the reference components")
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	if _, err := RunAsync(quietCluster(), nil, Config{}, async.Options{}); err == nil {
+		t.Fatal("no partitions accepted")
+	}
+}
+
+func TestReferenceLabelsAreComponentMinima(t *testing.T) {
+	g := multiComponentGraph()
+	comp := Reference(g)
+	for u, c := range comp {
+		if c > graph.NodeID(u) {
+			t.Fatalf("node %d labelled %d > its own id", u, c)
+		}
+		if comp[c] != c {
+			t.Fatalf("representative %d of node %d is not its own representative", c, u)
+		}
+	}
+}

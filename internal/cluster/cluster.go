@@ -60,6 +60,11 @@ type Metrics struct {
 	AsyncCrashes     int64
 	AsyncRecoveries  int64
 	AsyncCheckpoints int64
+
+	// Adaptive staleness-control counters (internal/adapt): bound
+	// raises and cuts across all async runs.
+	AsyncAdaptRaises int64
+	AsyncAdaptCuts   int64
 }
 
 // New constructs a cluster from cfg. The configuration is validated; an
@@ -111,6 +116,8 @@ func (c *Cluster) Metrics() MetricsSnapshot {
 		AsyncCrashes:     c.metrics.AsyncCrashes,
 		AsyncRecoveries:  c.metrics.AsyncRecoveries,
 		AsyncCheckpoints: c.metrics.AsyncCheckpoints,
+		AsyncAdaptRaises: c.metrics.AsyncAdaptRaises,
+		AsyncAdaptCuts:   c.metrics.AsyncAdaptCuts,
 	}
 }
 
@@ -134,6 +141,8 @@ type MetricsSnapshot struct {
 	AsyncCrashes     int64
 	AsyncRecoveries  int64
 	AsyncCheckpoints int64
+	AsyncAdaptRaises int64
+	AsyncAdaptCuts   int64
 }
 
 func (m MetricsSnapshot) String() string {

@@ -27,6 +27,7 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.DFSReplication = 0 },
 		func(c *Config) { c.FailureProb = 1.5 },
 		func(c *Config) { c.CrossRackFraction = 2 },
+		func(c *Config) { c.AdaptCost = -simtime.Microsecond },
 	}
 	for i, mutate := range mutations {
 		cfg := EC2LargeCluster()

@@ -104,6 +104,15 @@ type Config struct {
 	// independent of the scheduling loop's straggler/failure stream.
 	CrashMTTF simtime.Duration
 
+	// AdaptCost is the fixed bookkeeping overhead of one adaptive
+	// staleness-control decision (internal/adapt): re-stamping a
+	// worker's effective bound and informing its gate. Decisions are
+	// worker-local (no cross-node traffic), so the cost is small — well
+	// under AsyncSyncOverhead — and is charged to the worker's critical
+	// path only when the controller actually changes the bound; the
+	// fixed policy never pays it.
+	AdaptCost simtime.Duration
+
 	// CheckpointCost is the fixed bookkeeping overhead of one worker
 	// checkpoint (quiesce, version stamp, RPC setup); the snapshot bytes
 	// additionally pay a replicated DFS write. Only paid when a
@@ -148,6 +157,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cluster: CrossRackFraction must be in [0,1], got %g", c.CrossRackFraction)
 	case c.AsyncSyncOverhead < 0:
 		return fmt.Errorf("cluster: AsyncSyncOverhead must be non-negative, got %v", c.AsyncSyncOverhead)
+	case c.AdaptCost < 0:
+		return fmt.Errorf("cluster: AdaptCost must be non-negative, got %v", c.AdaptCost)
 	case c.CrashMTTF < 0:
 		return fmt.Errorf("cluster: CrashMTTF must be non-negative, got %v", c.CrashMTTF)
 	case c.CheckpointCost < 0:
@@ -194,6 +205,7 @@ func EC2LargeCluster() *Config {
 		TaskOverhead:       800 * simtime.Millisecond,
 		LocalSyncOverhead:  20 * simtime.Microsecond,
 		AsyncSyncOverhead:  5 * simtime.Millisecond,
+		AdaptCost:          100 * simtime.Microsecond,
 		CoresPerMapSlot:    2,
 		FailureProb:        0.002,
 		CrashMTTF:          0, // worker crashes off by default; experiments opt in
@@ -231,6 +243,7 @@ func CluECluster() *Config {
 	c.JobOverhead = 25 * simtime.Second
 	c.TaskOverhead = 1500 * simtime.Millisecond
 	c.AsyncSyncOverhead = 15 * simtime.Millisecond
+	c.AdaptCost = 500 * simtime.Microsecond
 	c.FailureProb = 0.006
 	c.CheckpointCost = 500 * simtime.Millisecond
 	c.RestoreCost = 8 * simtime.Second
@@ -252,6 +265,7 @@ func HPCCluster() *Config {
 	c.JobOverhead = 50 * simtime.Millisecond
 	c.TaskOverhead = 2 * simtime.Millisecond
 	c.AsyncSyncOverhead = 50 * simtime.Microsecond
+	c.AdaptCost = 2 * simtime.Microsecond
 	c.FailureProb = 0
 	c.CheckpointCost = 5 * simtime.Millisecond
 	c.RestoreCost = 100 * simtime.Millisecond

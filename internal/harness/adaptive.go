@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adapt"
+	"repro/internal/async"
+	"repro/internal/cluster"
+	"repro/internal/pagerank"
+)
+
+// AdaptiveFixedBounds is the fixed-S half of the fixed-vs-adaptive
+// sweep's x-axis — the staleness figures' axis, so the two families of
+// figures stay point-for-point comparable; the adaptive policies
+// (AdaptivePolicies) follow it.
+var AdaptiveFixedBounds = StalenessValues
+
+// AdaptivePolicies is the adaptive half of the sweep: both controller
+// families at their default parameters.
+func AdaptivePolicies() []adapt.Policy {
+	return []adapt.Policy{adapt.AIMDDefault(), adapt.DriftDefault()}
+}
+
+// AdaptiveSweepLabels names the sweep's entries, fixed bounds first.
+func AdaptiveSweepLabels() []string {
+	labels := make([]string, 0, len(AdaptiveFixedBounds)+2)
+	for _, s := range AdaptiveFixedBounds {
+		if s < 0 {
+			labels = append(labels, "S=inf")
+		} else {
+			labels = append(labels, fmt.Sprintf("S=%d", s))
+		}
+	}
+	for _, pol := range AdaptivePolicies() {
+		labels = append(labels, pol.Name())
+	}
+	return labels
+}
+
+// AdaptiveSweepRow is one entry of the fixed-vs-adaptive sweep.
+type AdaptiveSweepRow struct {
+	Label string
+	Stats *async.RunStats
+	// RankDrift is the largest per-node rank deviation from the sweep's
+	// lockstep (S=0) run — the converged-quality check: adapting the
+	// bound must move the schedule, not the fixed point.
+	RankDrift float64
+}
+
+// AdaptiveSweep runs async PageRank on Graph A across every fixed bound
+// in AdaptiveFixedBounds and every adaptive policy, on the given cost
+// model: the fixed-vs-adaptive comparison behind FigureAdaptive. The
+// interesting read is GateWaitTime (what the controller tries to
+// shrink) against MeanSteps (the stale-extra-step price) and
+// StalenessMean/Max (the controller's trajectory).
+func (s *Suite) AdaptiveSweep(cfg *cluster.Config) ([]AdaptiveSweepRow, error) {
+	saved := s.Cluster
+	s.Cluster = cfg
+	defer func() { s.Cluster = saved }()
+
+	g := s.GraphA()
+	ks := s.PartitionCounts()
+	k := ks[len(ks)/2]
+	subs, _, err := s.partitions(g, k)
+	if err != nil {
+		return nil, err
+	}
+	labels := AdaptiveSweepLabels()
+	rows := make([]AdaptiveSweepRow, 0, len(labels))
+	var baseline []float64 // the lockstep run's ranks
+	sweep := func(opt async.Options) error {
+		label := labels[len(rows)]
+		res, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
+		if err != nil {
+			return fmt.Errorf("harness: adaptive sweep %s: %w", label, err)
+		}
+		if baseline == nil {
+			baseline = res.Ranks
+		}
+		rows = append(rows, AdaptiveSweepRow{Label: label, Stats: res.Stats, RankDrift: rankDrift(res.Ranks, baseline)})
+		return nil
+	}
+	for _, sv := range AdaptiveFixedBounds {
+		opt := s.asyncOptions(sv)
+		opt.Adapt = nil // the fixed half of the sweep overrides a suite policy
+		if err := sweep(opt); err != nil {
+			return nil, err
+		}
+	}
+	for _, pol := range AdaptivePolicies() {
+		opt := s.asyncOptions(s.Staleness())
+		opt.Adapt = pol
+		if err := sweep(opt); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range rows {
+		s.logf("adaptive %-6s: %.1fs, gate-wait %.1fs (%d waits), %.1f mean steps, S mean %.2f max %d, raises/cuts %d/%d, rank drift %.2g\n",
+			r.Label, r.Stats.Duration.Seconds(), r.Stats.GateWaitTime.Seconds(), r.Stats.GateWaits,
+			r.Stats.MeanSteps, r.Stats.StalenessMean, r.Stats.StalenessMax,
+			r.Stats.AdaptRaises, r.Stats.AdaptCuts, r.RankDrift)
+	}
+	return rows, nil
+}
+
+// rankDrift returns the largest per-node absolute deviation between two
+// rank vectors (0 when base is nil — the baseline row itself).
+func rankDrift(ranks, base []float64) float64 {
+	if base == nil {
+		return 0
+	}
+	d := 0.0
+	for u := range ranks {
+		if dd := math.Abs(ranks[u] - base[u]); dd > d {
+			d = dd
+		}
+	}
+	return d
+}
+
+// figureAdaptiveOn renders the sweep on one cost model.
+func (s *Suite) figureAdaptiveOn(cfg *cluster.Config) (*Figure, error) {
+	rows, err := s.AdaptiveSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(rows))
+	var times, waits, steps, smean []float64
+	for i, r := range rows {
+		x[i] = float64(i)
+		times = append(times, r.Stats.Duration.Seconds())
+		waits = append(waits, r.Stats.GateWaitTime.Seconds())
+		steps = append(steps, r.Stats.MeanSteps)
+		smean = append(smean, r.Stats.StalenessMean)
+	}
+	labels := AdaptiveSweepLabels()
+	ks := s.PartitionCounts()
+	return &Figure{
+		Title: fmt.Sprintf("Adaptive staleness: fixed bounds vs per-worker controllers (async PageRank, Graph A, %d partitions, %s)",
+			ks[len(ks)/2], cfg.Name),
+		XLabel: "Staleness policy",
+		YLabel: "Time (s) / gate-wait time (s) / mean steps / mean S",
+		X:      x,
+		XFmt: func(v float64) string {
+			i := int(v)
+			if i < 0 || i >= len(labels) {
+				return "?"
+			}
+			return labels[i]
+		},
+		Series: []Series{
+			{Label: "Time", Y: times},
+			{Label: "GateWaitS", Y: waits},
+			{Label: "MeanSteps", Y: steps},
+			{Label: "MeanS", Y: smean},
+		},
+	}, nil
+}
+
+// FigureAdaptive is the fixed-vs-adaptive staleness sweep on the EC2
+// cross-rack cluster — the cost model where gate waits and push traffic
+// are material (the stalenessx figure's setting), so a controller that
+// spends the asynchrony budget per worker has something to win. Run
+// with -scale 1 to reproduce the EXPERIMENTS.md figure.
+func (s *Suite) FigureAdaptive() (*Figure, error) {
+	return s.figureAdaptiveOn(cluster.EC2CrossRackCluster())
+}
+
+// FigureAdaptiveCluE is the same sweep on the 460-node CluE model,
+// whose heavier per-publication cost raises the stakes on both sides of
+// the trade.
+func (s *Suite) FigureAdaptiveCluE() (*Figure, error) {
+	return s.figureAdaptiveOn(cluster.CluECluster())
+}

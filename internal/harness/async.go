@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/async"
+	"repro/internal/cc"
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/kmeans"
@@ -44,22 +45,33 @@ func (s *Suite) clusterName() string {
 }
 
 // asyncOptions assembles the suite's async run options: staleness bound
-// plus the executor selection (DES by default; the CLI's -parallel flag
-// switches to the wall-clock-parallel executor, whose virtual-time
-// results are identical) and the checkpoint policy of the crash fault
-// model (the CLI's -ckpt flag).
+// (or the adaptive staleness-control policy, when one is set) plus the
+// executor selection (DES by default; the CLI's -parallel flag switches
+// to the wall-clock-parallel executor, whose virtual-time results are
+// identical) and the checkpoint policy of the crash fault model (the
+// CLI's -ckpt flag).
 func (s *Suite) asyncOptions(staleness int) async.Options {
 	return async.Options{
 		Staleness:  staleness,
 		Executor:   s.AsyncExecutor,
 		Workers:    s.AsyncWorkers,
 		Checkpoint: s.CheckpointPolicy,
+		Adapt:      s.AdaptPolicy,
 	}
 }
 
 // Staleness returns the suite's async staleness bound: 0 is lockstep,
 // negative unbounded.
 func (s *Suite) Staleness() int { return s.AsyncStaleness }
+
+// asyncLabel names the suite's async configuration for figure series:
+// the static bound, or the adaptive policy when one is set.
+func (s *Suite) asyncLabel() string {
+	if s.AdaptPolicy != nil {
+		return fmt.Sprintf("Async(%s)", s.AdaptPolicy)
+	}
+	return stalenessLabel(s.Staleness())
+}
 
 // stalenessLabel renders a staleness bound for figure series.
 func stalenessLabel(s int) string {
@@ -102,7 +114,7 @@ func (s *Suite) modeRunners() []modeRunner {
 	return []modeRunner{
 		{"General", mapreduceMode(false)},
 		{"Eager", mapreduceMode(true)},
-		{stalenessLabel(s.Staleness()), func(subs []*graph.SubGraph) (float64, float64, error) {
+		{s.asyncLabel(), func(subs []*graph.SubGraph) (float64, float64, error) {
 			r, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), s.asyncOptions(s.Staleness()))
 			if err != nil {
 				return 0, 0, err
@@ -204,7 +216,12 @@ func (s *Suite) StalenessSweep() (*Figure, error) {
 	}
 	var times, steps, waits []float64
 	for _, sv := range StalenessValues {
-		res, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), s.asyncOptions(sv))
+		opt := s.asyncOptions(sv)
+		// This sweep's whole point is the fixed-bound axis: a suite-level
+		// adaptive policy would override sv and flatten every point into
+		// the same run. FigureAdaptive is the fixed-vs-adaptive figure.
+		opt.Adapt = nil
+		res, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +379,10 @@ type WorkloadRow struct {
 // end to end in the chosen scheduling mode — the common
 // iterate-until-converged entry the CLI's -mode flag drives. mode is
 // "general", "eager" or "async"; staleness applies to async only, and
-// the async executor comes from the suite (Suite.AsyncExecutor).
+// the async executor comes from the suite (Suite.AsyncExecutor). In
+// async mode the sweep also runs connected components (internal/cc),
+// which exists only on the asynchronous runtime — label propagation has
+// no MapReduce formulation here, so general/eager sweeps skip it.
 func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) {
 	if mode != "general" && mode != "eager" && mode != "async" {
 		return nil, fmt.Errorf("harness: unknown mode %q (want general, eager or async)", mode)
@@ -389,6 +409,11 @@ func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) 
 			return nil, err
 		}
 		rows = append(rows, WorkloadRow{"sssp", mode, sp.Stats.MeanSteps, sp.Stats.Duration.Seconds(), sp.Stats.Converged})
+		ccr, err := cc.RunAsync(s.asyncCluster(), subs, cc.Config{}, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WorkloadRow{"cc", mode, ccr.Stats.MeanSteps, ccr.Stats.Duration.Seconds(), ccr.Stats.Converged})
 		pts, err := kmeans.GenerateCensus(kmeans.DefaultCensusConfig().Scaled(s.kmeansScale()))
 		if err != nil {
 			return nil, err
@@ -423,18 +448,17 @@ func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) 
 	return rows, nil
 }
 
-// RenderWorkloadRows writes the RunWorkloads result as an aligned table.
-func RenderWorkloadRows(w io.Writer, rows []WorkloadRow, staleness int) {
+// RenderWorkloadRows writes the RunWorkloads result as an aligned
+// table. staleness is the human spelling of the async staleness
+// configuration (a bound like "4" or "unbounded", or an adaptive
+// policy like "adaptive:aimd"); it only decorates async-mode titles.
+func RenderWorkloadRows(w io.Writer, rows []WorkloadRow, staleness string) {
 	if len(rows) == 0 {
 		return
 	}
 	title := fmt.Sprintf("End-to-end workloads, mode=%s", rows[0].Mode)
 	if rows[0].Mode == "async" {
-		if staleness < 0 {
-			title += " (staleness=unbounded)"
-		} else {
-			title += fmt.Sprintf(" (staleness=%d)", staleness)
-		}
+		title += fmt.Sprintf(" (staleness=%s)", staleness)
 	}
 	fmt.Fprintln(w, title)
 	fmt.Fprintln(w, "--------------------------------------------")

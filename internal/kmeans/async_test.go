@@ -125,6 +125,13 @@ func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
 	asynctest.CheckParallelMatchesDES(t, asynctest.Stalenesses(), asyncParityRunner(t))
 }
 
+// TestAsyncAdaptiveParity: executor parity under the adaptive staleness
+// controller on the dense all-to-all exchange, where every worker reads
+// every other and the drift policy's lag signal is busiest.
+func TestAsyncAdaptiveParity(t *testing.T) {
+	asynctest.CheckAdaptiveParity(t, asyncParityRunner(t))
+}
+
 // TestAsyncCrashParity: executor parity under worker crashes on the
 // dense exchange, where a crashed worker's recovery replays parameter-
 // server folds whose inputs came from every other partition.

@@ -133,6 +133,49 @@ func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
 	asynctest.CheckParallelMatchesDES(t, asynctest.Stalenesses(), asyncParityRunner(t))
 }
 
+// TestAsyncAdaptiveParity is the executor-parity contract under the
+// adaptive staleness controller (internal/adapt): identical
+// virtual-time stats — including the controller's trajectory counters —
+// and identical converged ranks across DES and parallel, for every
+// adaptive policy on every preset.
+func TestAsyncAdaptiveParity(t *testing.T) {
+	asynctest.CheckAdaptiveParity(t, asyncParityRunner(t))
+}
+
+// TestAsyncFixedPolicyIdentity pins that adapt.Fixed is the identity
+// controller on a real workload: bit-identical to the static-bound
+// engine.
+func TestAsyncFixedPolicyIdentity(t *testing.T) {
+	asynctest.CheckFixedPolicyIdentity(t, asynctest.Stalenesses(), asyncParityRunner(t))
+}
+
+// TestAsyncAdaptiveConverges: the adaptive policies must land on the
+// reference fixed point within the suite's usual tolerance — moving the
+// bound mid-run changes the schedule, not the answer.
+func TestAsyncAdaptiveConverges(t *testing.T) {
+	g := smallGraph()
+	subs := subgraphs(t, g, 8)
+	want := referenceRanks(g, 0.85, 1e-5)
+	for _, pol := range asynctest.AdaptivePolicies() {
+		res, err := RunAsync(asyncCluster(), subs, DefaultConfig(), async.Options{Adapt: pol})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if !res.Stats.Converged {
+			t.Fatalf("%s: not converged", pol)
+		}
+		if res.Stats.MaxLead > res.Stats.StalenessMax {
+			t.Fatalf("%s: lead %d exceeds the largest bound in force %d",
+				pol, res.Stats.MaxLead, res.Stats.StalenessMax)
+		}
+		for u := range want {
+			if d := math.Abs(res.Ranks[u] - want[u]); d > 1e-3 {
+				t.Fatalf("%s: node %d rank %g vs reference %g", pol, u, res.Ranks[u], want[u])
+			}
+		}
+	}
+}
+
 // TestAsyncCrashParity is the same contract under the worker-crash
 // fault model: with crashes striking mid-run (and, in the second
 // sweep, an every-4-steps checkpoint policy), both executors must

@@ -113,6 +113,13 @@ func TestAsyncParallelExecutorMatchesDES(t *testing.T) {
 	asynctest.CheckParallelMatchesDES(t, asynctest.Stalenesses(), asyncParityRunner(t))
 }
 
+// TestAsyncAdaptiveParity: executor parity under the adaptive staleness
+// controller; SSSP's monotone relaxation keeps the answer exact while
+// the controller moves each worker's bound.
+func TestAsyncAdaptiveParity(t *testing.T) {
+	asynctest.CheckAdaptiveParity(t, asyncParityRunner(t))
+}
+
 // TestAsyncCrashParity: executor parity under worker crashes — and,
 // via the runner's Dijkstra check, exactness of the recovered
 // distances on every crashy run.

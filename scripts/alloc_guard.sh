@@ -18,14 +18,22 @@
 #      Threshold 3500 keeps the journal/checkpoint bookkeeping from
 #      growing a per-step allocation.
 #
+#   3. The adaptive staleness-control path (BenchmarkAsyncAdaptive/aimd:
+#      the per-worker controller changing bounds throughout the run, on
+#      the parallel executor): sits around 1.8K allocs/op — the
+#      controller adds only run-level state (one Signals slice), never a
+#      per-decision allocation. Threshold 2500, same as the crash-free
+#      path it rides on.
+#
 # Runs are deterministic, so allocs/op is stable across machines; the
 # thresholds leave headroom for runtime/GC bookkeeping noise.
 #
-# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs]
+# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs] [max_adaptive_allocs]
 set -eu
 
 max=${1:-2500}
 max_recovery=${2:-3500}
+max_adaptive=${3:-2500}
 cd "$(dirname "$0")/.."
 
 check() {
@@ -49,3 +57,4 @@ check() {
 
 check 'BenchmarkAsyncParallel/pagerank/parallel' "$max"
 check 'BenchmarkAsyncRecovery/mttf=1s' "$max_recovery"
+check 'BenchmarkAsyncAdaptive/aimd' "$max_adaptive"

@@ -2,16 +2,18 @@
 # bench.sh — record the async-runtime performance baseline.
 #
 # Runs the async benchmarks with -benchmem and writes the parsed results
-# as JSON (default BENCH_PR4.json at the repo root) so later PRs can
+# as JSON (default BENCH_PR5.json at the repo root) so later PRs can
 # diff allocs/op and ns/op against a committed trajectory point. The
-# committed BENCH_PR4.json was recorded BEFORE the worker-crash fault
-# model landed (so it has no BenchmarkAsyncRecovery rows); re-run this
-# script as scripts/bench.sh BENCH_PRn.json to extend the trajectory.
+# committed BENCH_PR5.json was recorded BEFORE the adaptive staleness
+# controller landed (so it has no BenchmarkAsyncAdaptive rows, and its
+# BenchmarkAsyncParallel rows predate the controller's run-level
+# bookkeeping); re-run this script as scripts/bench.sh BENCH_PRn.json to
+# extend the trajectory.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -eu
 
-out=${1:-BENCH_PR4.json}
+out=${1:-BENCH_PR5.json}
 benchtime=${2:-3x}
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run xxx \
-	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$' \
+	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$|BenchmarkAsyncAdaptive$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
 # Parse `BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  0.5 metric`
