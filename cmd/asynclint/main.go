@@ -1,0 +1,53 @@
+// Command asynclint is the multichecker driver for the asynclint
+// analyzer suite (internal/lint): the static checks that enforce the
+// asynchronous runtime's determinism and concurrency contracts
+// (//async: annotations — see internal/lint's package doc).
+//
+// The binary is a standard go/analysis unitchecker, so the go command
+// does the package loading:
+//
+//	go build -o bin/asynclint ./cmd/asynclint
+//	go vet -vettool=bin/asynclint ./...
+//
+// For convenience, invoking it directly with package patterns re-execs
+// itself through go vet:
+//
+//	bin/asynclint ./...
+//
+// scripts/lint.sh wraps both steps and is what CI runs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// Under go vet the tool is invoked with flags (-V=full, -flags) or a
+	// JSON *.cfg argument. Anything else is a package pattern: re-exec
+	// through `go vet -vettool` so the go command loads the packages.
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") && !strings.HasSuffix(os.Args[1], ".cfg") {
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asynclint: %v\n", err)
+			os.Exit(1)
+		}
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, os.Args[1:]...)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				os.Exit(ee.ExitCode())
+			}
+			fmt.Fprintf(os.Stderr, "asynclint: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	unitchecker.Main(lint.Analyzers()...)
+}

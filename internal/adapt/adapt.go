@@ -32,6 +32,14 @@
 // gate reads when the event pops — the bound in force at the step's
 // read time — so a later cut can never invalidate an already-admitted
 // speculation, mirroring how crash events only ever delay publications.
+//
+// The purity and determinism contracts above are machine-checked by
+// cmd/asynclint: the package carries the deterministic marker (no wall
+// clock, no global randomness, no map-order iteration), and every
+// Policy implementation is checked for receiver/global writes and
+// impure calls (declare controller state with //async:mutable).
+//
+//async:deterministic
 package adapt
 
 import (
@@ -306,11 +314,10 @@ func NewController(pol Policy, n int) *Controller {
 	return c
 }
 
-// Policy returns the controller's policy.
-func (c *Controller) Policy() Policy { return c.pol }
-
 // Bound returns worker w's staleness bound currently in force
 // (negative = free-running).
+//
+//async:sched-only
 func (c *Controller) Bound(w int) int { return c.sig[w].Bound }
 
 // NeedsLag reports whether StepDone wants the lag signal computed.
@@ -321,6 +328,8 @@ func (c *Controller) NeedsLag() bool { return c.needLag }
 // booking (a wake scheduled at a version's visibility time), zero when
 // the worker blocks on a version that does not exist yet (measure that
 // with AddWaitTime at release). Reports whether the bound changed.
+//
+//async:sched-only
 func (c *Controller) GateWait(w int, wait simtime.Duration) bool {
 	sig := &c.sig[w]
 	sig.GateWaits++
@@ -331,6 +340,8 @@ func (c *Controller) GateWait(w int, wait simtime.Duration) bool {
 
 // AddWaitTime accounts a gate wait measured at release time (the
 // blocked-on-a-laggard case, whose duration is unknown at booking).
+//
+//async:sched-only
 func (c *Controller) AddWaitTime(w int, wait simtime.Duration) {
 	c.sig[w].WaitTime += wait
 }
@@ -339,6 +350,8 @@ func (c *Controller) AddWaitTime(w int, wait simtime.Duration) {
 // a material change), samples the bound that was in force for it, and
 // consults the policy. lag is the worker's current publish lag (pass 0
 // unless NeedsLag). Reports whether the bound changed.
+//
+//async:sched-only
 func (c *Controller) StepDone(w int, published bool, lag int) bool {
 	sig := &c.sig[w]
 	sig.Steps++
@@ -356,6 +369,8 @@ func (c *Controller) StepDone(w int, published bool, lag int) bool {
 
 // apply installs a policy decision, counting raises and cuts and
 // tracking the largest bound ever in force.
+//
+//async:sched-only
 func (c *Controller) apply(sig *Signals, b int) bool {
 	if b == sig.Bound {
 		return false

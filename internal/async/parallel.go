@@ -97,6 +97,7 @@ type spec[D any] struct {
 	done     sync.WaitGroup
 }
 
+//async:sched-root
 func newParallelScheduler[D any](k *core[D]) *parallelScheduler[D] {
 	n := k.opt.Workers
 	if n <= 0 {
@@ -134,6 +135,7 @@ func newParallelScheduler[D any](k *core[D]) *parallelScheduler[D] {
 	k.onCrash = s.invalidate
 	for i := 0; i < n; i++ {
 		s.wg.Add(1)
+		//async:pool — the executor's one sanctioned goroutine launch
 		go func() {
 			defer s.wg.Done()
 			for sp := range s.tasks {
@@ -147,6 +149,8 @@ func newParallelScheduler[D any](k *core[D]) *parallelScheduler[D] {
 
 // Admit drains the speculation worklist, then pops the next event
 // exactly as the DES does.
+//
+//async:sched-only
 func (s *parallelScheduler[D]) Admit() (int, bool) {
 	s.speculate()
 	return s.core.Admit()
@@ -154,6 +158,8 @@ func (s *parallelScheduler[D]) Admit() (int, bool) {
 
 // speculate re-evaluates admission for every partition marked dirty
 // since the last pass, dispatching each step it can prove independent.
+//
+//async:sched-only
 func (s *parallelScheduler[D]) speculate() {
 	head, ok := s.heap.Peek()
 	if !ok || s.floor <= 0 {
@@ -179,6 +185,8 @@ func (s *parallelScheduler[D]) speculate() {
 
 // tryDispatch applies the dependency-aware admission rule to partition
 // p's pending step and hands it to the pool when it passes.
+//
+//async:sched-only
 func (s *parallelScheduler[D]) tryDispatch(p int, frontier simtime.Duration) {
 	sp := &s.specs[p]
 	if sp.active || !s.pending[p] {
@@ -254,6 +262,8 @@ func (s *parallelScheduler[D]) tryDispatch(p int, frontier simtime.Duration) {
 // visible versions final, but the exemptions can still flip as workers
 // settle. bound is the worker's controller bound in force at dispatch
 // (= at the canonical gate; see tryDispatch).
+//
+//async:sched-only
 func (s *parallelScheduler[D]) gateCertain(st *workerState, t simtime.Duration, bound int) bool {
 	need := st.version - bound
 	if need <= 0 {
@@ -275,6 +285,8 @@ func (s *parallelScheduler[D]) gateCertain(st *workerState, t simtime.Duration, 
 // saw the same input versions. The canonical read stays off the spec's
 // input buffer, which the pool goroutine may still be using. Without a
 // speculation, the step runs inline.
+//
+//async:sched-only
 func (s *parallelScheduler[D]) Execute(p int) (StepOutcome[D], error) {
 	sp := &s.specs[p]
 	if !sp.active {
@@ -309,6 +321,8 @@ func (s *parallelScheduler[D]) Execute(p int) (StepOutcome[D], error) {
 // invalidate discards partition p's in-flight speculation, if any:
 // waits for the pool goroutine to finish with p's buffers (so recovery
 // may safely restore and replay p's state) and drops the result.
+//
+//async:sched-only
 func (s *parallelScheduler[D]) invalidate(p int) {
 	sp := &s.specs[p]
 	if !sp.active {
@@ -324,6 +338,8 @@ func (s *parallelScheduler[D]) invalidate(p int) {
 // from Admit) takes precedence: specs legitimately left in flight by
 // the abort are not an executor bug, and core.Finish reports the real
 // failure.
+//
+//async:sched-only
 func (s *parallelScheduler[D]) Finish() (*RunStats, error) {
 	if s.err == nil && s.outstanding != 0 {
 		return nil, fmt.Errorf("async: executor bug: %d speculated steps never consumed", s.outstanding)

@@ -29,6 +29,16 @@
 // the partitions a step actually reads can invalidate it), overlapping
 // worker compute on real cores while producing virtual-time results
 // identical to DES.
+//
+// The package is the heart of the deterministic engine core, and its
+// contracts are machine-checked by cmd/asynclint: no wall-clock reads,
+// global randomness, or map-order iteration (this marker), scheduling
+// bookkeeping confined to the scheduling goroutine (//async:sched-only
+// / //async:sched-root), lock-free fields accessed only via sync/atomic
+// (//async:atomic), and goroutines launched only at the executor's
+// annotated pool dispatch (//async:pool).
+//
+//async:deterministic
 package async
 
 import (
@@ -269,30 +279,46 @@ type RunStats struct {
 // only in how Execute maps admitted steps onto OS resources. That keeps
 // the deterministic event order — and therefore every stochastic draw
 // and virtual-time result — identical across executors.
+//
+// Every phase method is //async:sched-only: the phases mutate
+// unsynchronized scheduling state and must stay on the single
+// scheduling goroutine (Drive's loop). Only Close is free-threaded.
 type Scheduler[D any] interface {
 	// Admit pops the next due worker event and advances that worker's
 	// local clock to the event time; ok is false once the event queue
 	// has drained. Executors may use this hook to pre-execute upcoming
 	// independent steps.
+	//
+	//async:sched-only
 	Admit() (p int, ok bool)
 	// Gate applies the staleness bound to p at its current virtual time.
 	// It either admits the step (true) or books the wait: blocking p on
 	// the laggard neighbor, or rescheduling p at the virtual time the
 	// needed version becomes visible.
+	//
+	//async:sched-only
 	Gate(p int) bool
 	// Execute runs p's next step against the snapshots visible at p's
 	// virtual time and records consumption/staleness accounting.
+	//
+	//async:sched-only
 	Execute(p int) (StepOutcome[D], error)
 	// Publish prices the executed step (compute, local syncs, push,
 	// straggler and failure draws), advances p's virtual clock, appends
 	// published state to the store, and wakes idle readers and gated
 	// waiters.
+	//
+	//async:sched-only
 	Publish(p int, out StepOutcome[D]) error
 	// Advance decides p's next move: requeue immediately, wait for
 	// fresher input, go idle, or force-stop at the step cap.
+	//
+	//async:sched-only
 	Advance(p int, out StepOutcome[D])
 	// Finish validates drain invariants, folds per-run counters into the
 	// cluster's metrics and clock, and returns the run's stats.
+	//
+	//async:sched-only
 	Finish() (*RunStats, error)
 	// Close releases executor resources (goroutine pools). It is
 	// idempotent and must be called even when a phase returned an error.
@@ -303,6 +329,8 @@ type Scheduler[D any] interface {
 // cluster, advancing its clock by the run's duration. The executor in
 // opt chooses between the sequential DES and the wall-clock-parallel
 // strategy; both produce identical virtual-time results.
+//
+//async:sched-root
 func Run[D any](c *cluster.Cluster, w Workload[D], opt Options) (*RunStats, error) {
 	s, err := NewScheduler(c, w, opt)
 	if err != nil {
@@ -313,6 +341,8 @@ func Run[D any](c *cluster.Cluster, w Workload[D], opt Options) (*RunStats, erro
 }
 
 // NewScheduler builds the scheduler for opt.Executor over the workload.
+//
+//async:sched-root
 func NewScheduler[D any](c *cluster.Cluster, w Workload[D], opt Options) (Scheduler[D], error) {
 	k, err := newCore(c, w, opt)
 	if err != nil {
@@ -329,6 +359,8 @@ func NewScheduler[D any](c *cluster.Cluster, w Workload[D], opt Options) (Schedu
 }
 
 // Drive runs a scheduler's phase loop to global quiescence.
+//
+//async:sched-root
 func Drive[D any](s Scheduler[D]) (*RunStats, error) {
 	for {
 		p, ok := s.Admit()
@@ -450,6 +482,8 @@ type core[D any] struct {
 // one job launch (amortized over the whole run — the asynchronous
 // runtime is a single long-lived job) plus their task start and input
 // read before their first step.
+//
+//async:sched-root
 func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], error) {
 	n := w.Parts()
 	if n <= 0 {
@@ -554,6 +588,8 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 // readers for (re-)speculation: a fresh event makes p itself a
 // speculation candidate, and it moves p's earliest-possible-publish
 // bound, which can unblock the admission of every partition reading p.
+//
+//async:sched-only
 func (k *core[D]) schedule(p int, at simtime.Duration) {
 	k.heap.Push(at, p)
 	k.stepEvents++
@@ -566,6 +602,8 @@ func (k *core[D]) schedule(p int, at simtime.Duration) {
 }
 
 // markDirty enqueues p for the executor's next speculation pass.
+//
+//async:sched-only
 func (k *core[D]) markDirty(p int) {
 	if !k.inDirty[p] {
 		k.inDirty[p] = true
@@ -576,6 +614,8 @@ func (k *core[D]) markDirty(p int) {
 // markReaders marks every partition that reads p — the reverse edge of
 // the dependency graph — because a transition of p (scheduled, blocked,
 // idled, forced) changes the admission bound those readers compute.
+//
+//async:sched-only
 func (k *core[D]) markReaders(p int) {
 	if !k.track {
 		return
@@ -592,6 +632,8 @@ func (k *core[D]) markReaders(p int) {
 // remain: once every worker is idle or force-stopped the run is over,
 // and residual crash events — a Poisson process never runs out — are
 // discarded rather than ticking forever.
+//
+//async:sched-only
 func (k *core[D]) Admit() (int, bool) {
 	for {
 		if k.stepEvents == 0 || k.err != nil {
@@ -633,6 +675,8 @@ func (k *core[D]) Admit() (int, bool) {
 // sound; the one speculation a crash does invalidate — the crashed
 // worker's own, whose inputs were read at the pre-crash event time — is
 // discarded via the onCrash hook before state is touched.
+//
+//async:sched-only
 func (k *core[D]) handleCrash(p int, at simtime.Duration) {
 	st := k.workers[p]
 	k.stats.Crashes++
@@ -714,6 +758,8 @@ func (k *core[D]) handleCrash(p int, at simtime.Duration) {
 }
 
 // scheduleCrash queues worker p's next crash event.
+//
+//async:sched-only
 func (k *core[D]) scheduleCrash(p int) {
 	if at, ok := k.plan.Next(p); ok {
 		k.heap.Push(at, len(k.workers)+p)
@@ -730,6 +776,8 @@ func (k *core[D]) scheduleCrash(p int) {
 // was either consumed or never dispatched (a dispatched speculation
 // implies a passing gate), the change can never invalidate in-flight
 // work.
+//
+//async:sched-only
 func (k *core[D]) Gate(p int) bool {
 	st := k.workers[p]
 	bound := k.ctrl.Bound(p)
@@ -773,6 +821,8 @@ func (k *core[D]) Gate(p int) bool {
 // consumeInput performs the canonical, event-ordered read of partition
 // p's j-th neighbor at p's clock: it advances the read cursor, records
 // the consumed version, and accounts the staleness lead.
+//
+//async:sched-only
 func (k *core[D]) consumeInput(p, j int) (Snapshot[D], error) {
 	st := k.workers[p]
 	q := st.neighbors[j]
@@ -795,6 +845,8 @@ func (k *core[D]) consumeInput(p, j int) (Snapshot[D], error) {
 
 // readInputs reads the snapshots visible at p's clock into p's reusable
 // input buffer and records consumption and staleness-lead accounting.
+//
+//async:sched-only
 func (k *core[D]) readInputs(p int) ([]Snapshot[D], error) {
 	st := k.workers[p]
 	buf := k.inbuf[p]
@@ -809,6 +861,8 @@ func (k *core[D]) readInputs(p int) ([]Snapshot[D], error) {
 }
 
 // noteStep records a completed step in the worker and run counters.
+//
+//async:sched-only
 func (k *core[D]) noteStep(p int, out StepOutcome[D]) {
 	st := k.workers[p]
 	st.steps++
@@ -820,6 +874,8 @@ func (k *core[D]) noteStep(p int, out StepOutcome[D]) {
 // Execute runs p's step inline on the scheduling goroutine; see
 // Scheduler. The parallel executor overrides this with a speculative
 // fast path.
+//
+//async:sched-only
 func (k *core[D]) Execute(p int) (StepOutcome[D], error) {
 	st := k.workers[p]
 	inputs, err := k.readInputs(p)
@@ -838,6 +894,8 @@ func (k *core[D]) Execute(p int) (StepOutcome[D], error) {
 // The stochastic draws (straggler, failure replay) happen here, on the
 // scheduling goroutine, in event order — that is what keeps every
 // executor's virtual-time results identical.
+//
+//async:sched-only
 func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 	st := k.workers[p]
 	d := k.c.ComputeCost(out.Ops)
@@ -898,6 +956,8 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 // read on the scheduling goroutine after this step's own publication,
 // a point both executors reach with identical store contents, so the
 // signal (and every decision derived from it) is executor-independent.
+//
+//async:sched-only
 func (k *core[D]) adaptStep(p int, published bool) {
 	st := k.workers[p]
 	lag := 0
@@ -919,6 +979,8 @@ func (k *core[D]) adaptStep(p int, published bool) {
 // partition must be quiescent while its state is captured, so the write
 // delays the worker's next step. The checkpoint commit truncates the
 // journal — the steps before it can never be lost again.
+//
+//async:sched-only
 func (k *core[D]) maybeCheckpoint(p int) {
 	st := k.workers[p]
 	if st.log == nil || st.log.Lost() == 0 {
@@ -936,6 +998,8 @@ func (k *core[D]) maybeCheckpoint(p int) {
 }
 
 // Advance decides p's next move; see Scheduler.
+//
+//async:sched-only
 func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 	st := k.workers[p]
 	switch {
@@ -972,6 +1036,8 @@ func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 
 // Finish validates drain invariants and folds the run into the cluster;
 // see Scheduler.
+//
+//async:sched-only
 func (k *core[D]) Finish() (*RunStats, error) {
 	if k.err != nil {
 		return nil, k.err
@@ -1028,6 +1094,8 @@ func (k *core[D]) Finish() (*RunStats, error) {
 // waiter's clock at booking — settles the gate-wait-time accounting the
 // booking deferred (the awaited version did not exist then, so the
 // duration was unknowable).
+//
+//async:sched-only
 func (k *core[D]) releaseGateWaiters(st *workerState) int {
 	released := len(st.gateWaiters)
 	for _, r := range st.gateWaiters {
@@ -1052,6 +1120,8 @@ func (k *core[D]) releaseGateWaiters(st *workerState) int {
 // Reads go through the per-neighbor cursors: gate reads and input reads
 // for one worker happen at the same non-decreasing clock, so they share
 // the cursor cache.
+//
+//async:sched-only
 func (k *core[D]) gateCheck(st *workerState, t simtime.Duration, bound int) (q int, wakeAt simtime.Duration, wait bool) {
 	need := st.version - bound
 	if need <= 0 {
@@ -1084,6 +1154,8 @@ func (k *core[D]) gateCheck(st *workerState, t simtime.Duration, bound int) (q i
 // firstUnseen reports whether any neighbor has published a version newer
 // than what st last consumed, and the earliest virtual time such a
 // version becomes visible.
+//
+//async:sched-only
 func firstUnseen[D any](store *Store[D], st *workerState) (at simtime.Duration, unseen bool) {
 	for j, q := range st.neighbors {
 		if store.Latest(q) > st.consumed[j] {

@@ -31,8 +31,12 @@ type Snapshot[D any] struct {
 // includes it, so lock-free readers holding any header only ever see
 // immutable prefixes.
 type shard[D any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond // signaled on publish or seal, for WaitVersion's slow path
+	mu   sync.Mutex
+	cond *sync.Cond // signaled on publish or seal, for WaitVersion's slow path
+	// hist is the lock-free slice header readers race with the writer's
+	// swap; a plain read or write of it would tear.
+	//
+	//async:atomic
 	hist   atomic.Pointer[[]Snapshot[D]]
 	sealed bool // owner will never publish again (force-stopped, crashed for good, or drained)
 }

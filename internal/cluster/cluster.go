@@ -87,6 +87,10 @@ func (c *Cluster) Now() simtime.Duration { return c.clock.Now() }
 
 // Reset rewinds the clock and zeroes metrics for a fresh experiment run
 // on the same configuration. The RNG is reseeded so runs are identical.
+// A scheduling-loop root: callers reset between runs, never while a
+// scheduling loop is live.
+//
+//async:sched-root
 func (c *Cluster) Reset() {
 	c.clock.Reset()
 	c.rng = stats.NewRNG(c.cfg.Seed)

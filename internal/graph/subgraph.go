@@ -46,24 +46,6 @@ type SubGraph struct {
 // NumNodes returns the number of nodes owned by this partition.
 func (s *SubGraph) NumNodes() int { return len(s.Nodes) }
 
-// InternalEdges and CrossEdges count the partition's edge split.
-func (s *SubGraph) InternalEdges() int {
-	n := 0
-	for _, adj := range s.OutLocal {
-		n += len(adj)
-	}
-	return n
-}
-
-// CrossEdges counts out-edges leaving the partition.
-func (s *SubGraph) CrossEdges() int {
-	n := 0
-	for _, adj := range s.OutRemote {
-		n += len(adj)
-	}
-	return n
-}
-
 // BuildSubGraphs splits g into k partition payloads according to parts
 // (node -> partition, as produced by internal/partition). Every partition
 // must be non-empty; use partition.Assignment.Validate first.

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AtomicFieldAnalyzer enforces the atomic-access contract on struct
+// fields annotated //async:atomic: fields read concurrently with the
+// scheduling goroutine's writes (the store's shard histories, the
+// shared virtual clock's bits) must be accessed exclusively through
+// sync/atomic. A field whose type is a sync/atomic value type
+// (atomic.Uint64, atomic.Pointer[T], ...) may only appear as the
+// receiver of one of its methods; a plain-typed annotated field may
+// only appear as &x.f passed to a sync/atomic function. Any other
+// appearance is a mixed plain access — exactly the bug class a future
+// executor would introduce by reading the field directly.
+var AtomicFieldAnalyzer = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "check that //async:atomic struct fields are accessed only via sync/atomic",
+	Run:       runAtomicField,
+	FactTypes: []analysis.Fact{(*atomicFieldFact)(nil)},
+}
+
+type atomicFieldFact struct{}
+
+func (*atomicFieldFact) AFact()         {}
+func (*atomicFieldFact) String() string { return "atomicField" }
+
+func runAtomicField(pass *analysis.Pass) (any, error) {
+	annotated := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !groupHas(field.Doc, annotAtomic) && !groupHas(field.Comment, annotAtomic) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						annotated[obj] = true
+						pass.ExportObjectFact(obj, &atomicFieldFact{})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	isAnnotated := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return false
+		}
+		v = v.Origin() // normalize fields of generic instantiations
+		return annotated[v] || pass.ImportObjectFact(v, &atomicFieldFact{})
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || !isAnnotated(obj) {
+				return true
+			}
+			if !atomicUseOK(pass, parents, sel, obj) {
+				pass.Reportf(sel.Pos(), "plain access to //async:atomic field %s: "+
+					"the field is shared with lock-free readers and must go through sync/atomic", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// atomicUseOK reports whether the annotated-field selector appears in
+// one of the two sanctioned shapes.
+func atomicUseOK(pass *analysis.Pass, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr, obj types.Object) bool {
+	if isSyncAtomicType(obj.Type()) {
+		// Sanctioned: x.f.Method(...) — the selector is the receiver of
+		// a method call on the atomic value.
+		method, ok := parents[sel].(*ast.SelectorExpr)
+		if !ok || method.X != sel {
+			return false
+		}
+		call, ok := parents[method].(*ast.CallExpr)
+		return ok && call.Fun == method
+	}
+	// Sanctioned: atomic.F(&x.f, ...) — address passed to a sync/atomic
+	// function.
+	addr, ok := parents[sel].(*ast.UnaryExpr)
+	if !ok || addr.X != sel {
+		return false
+	}
+	call, ok := parents[addr].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id := calleeIdent(call.Fun); id != nil {
+		if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && fn.Pkg() != nil {
+			return fn.Pkg().Path() == "sync/atomic"
+		}
+	}
+	return false
+}
+
+// isSyncAtomicType reports whether t is (a pointer to) a named type
+// declared in sync/atomic.
+func isSyncAtomicType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// parentMap records each node's syntactic parent within one file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// DeterminismAnalyzer enforces the virtual-time determinism contract in
+// packages whose package doc carries //async:deterministic: engine code
+// replays bit-identically from a configuration, so it must never
+// consult the wall clock, draw from process-global randomness, iterate
+// a map in unspecified order, or spawn goroutines outside the
+// executor's annotated pool dispatch.
+var DeterminismAnalyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock time, global math/rand, unordered map iteration, " +
+		"and bare go statements in //async:deterministic packages",
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the package time functions that read or depend on
+// the wall clock (or real elapsed time). Pure constructors and
+// formatting (time.Duration, time.Unix, Parse) stay legal: the engine
+// is allowed to speak about time, just not to observe it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// globalRandAllowed are the math/rand(/v2) package-level functions that
+// do NOT touch the package-global generator. Everything else at package
+// level draws from shared process state, whose sequence depends on every
+// other draw in the binary — the opposite of replayable.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *analysis.Pass) (any, error) {
+	if !packageMarked(pass, annotDeterministic) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		lines := fileAnnotLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkForbiddenRef(pass, n)
+			case *ast.GoStmt:
+				if !lines.at(pass.Fset, annotPool, n.Pos()) {
+					pass.Reportf(n.Pos(), "bare go statement in deterministic engine code: "+
+						"goroutines may only be spawned by the executor pool dispatch (annotate with //async:pool)")
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap &&
+						!lines.at(pass.Fset, annotUnorderedOK, n.Pos()) {
+						pass.Reportf(n.Pos(), "map iteration order is unspecified and feeds engine state: "+
+							"iterate a sorted key slice, or annotate the loop //async:unordered-ok if the body is order-insensitive")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkForbiddenRef flags references to wall-clock time functions and
+// global math/rand state.
+func checkForbiddenRef(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		// Methods (e.g. on a locally seeded *rand.Rand) don't touch
+		// process-global state; the engine's own RNG discipline
+		// (internal/stats) covers those.
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock: engine code runs on virtual time "+
+				"(simtime) and must stay replayable", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandAllowed[fn.Name()] {
+			pass.Reportf(sel.Pos(), "%s.%s draws from process-global randomness: "+
+				"use the run's seeded RNG (internal/stats) so draws replay", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

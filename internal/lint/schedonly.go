@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SchedOnlyAnalyzer enforces the scheduling-goroutine contract: a
+// function or method annotated //async:sched-only (on its declaration,
+// or on its method in an interface) may only be referenced from other
+// sched-only functions or from declared //async:sched-root scheduling-
+// loop entry points. The walk is reference-based, not call-based, so a
+// sched-only method escaping as a function value from non-scheduling
+// code is caught too. Function literals are their own (non-sched)
+// context: a closure can escape to another goroutine, so it never
+// inherits its enclosing function's clearance.
+var SchedOnlyAnalyzer = &analysis.Analyzer{
+	Name:      "schedonly",
+	Doc:       "check that //async:sched-only functions are reached only from the scheduling goroutine's call tree",
+	Run:       runSchedOnly,
+	FactTypes: []analysis.Fact{(*schedOnlyFact)(nil)},
+}
+
+// schedOnlyFact marks an exported function as sched-only across package
+// boundaries (the unitchecker serializes facts along the import graph).
+type schedOnlyFact struct{}
+
+func (*schedOnlyFact) AFact()         {}
+func (*schedOnlyFact) String() string { return "schedOnly" }
+
+func runSchedOnly(pass *analysis.Pass) (any, error) {
+	schedOnly := map[types.Object]bool{}
+	roots := map[types.Object]bool{}
+
+	// Pass 1: collect annotations from function declarations and
+	// interface method declarations.
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj := pass.TypesInfo.Defs[d.Name]
+				if obj == nil {
+					continue
+				}
+				if groupHas(d.Doc, annotSchedOnly) {
+					schedOnly[obj] = true
+					pass.ExportObjectFact(obj, &schedOnlyFact{})
+				}
+				if groupHas(d.Doc, annotSchedRoot) {
+					roots[obj] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						if !groupHas(m.Doc, annotSchedOnly) && !groupHas(m.Comment, annotSchedOnly) {
+							continue
+						}
+						for _, name := range m.Names {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								schedOnly[obj] = true
+								pass.ExportObjectFact(obj, &schedOnlyFact{})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	isSchedOnly := func(obj types.Object) bool {
+		if fn, ok := obj.(*types.Func); ok {
+			obj = fn.Origin() // normalize generic instantiations
+		}
+		return schedOnly[obj] || pass.ImportObjectFact(obj, &schedOnlyFact{})
+	}
+
+	// Pass 2: verify every reference. walk carries the context a
+	// statement executes in: the innermost function literal, or else the
+	// enclosing declaration.
+	type ctx struct {
+		cleared bool   // sched-only or sched-root: may reference sched-only code
+		name    string // for diagnostics
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		var walk func(n ast.Node, c ctx)
+		walk = func(n ast.Node, c ctx) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					walk(n.Body, ctx{cleared: false, name: c.name + " (func literal)"})
+					return false
+				case *ast.Ident:
+					obj := pass.TypesInfo.Uses[n]
+					if obj == nil || !isSchedOnly(obj) {
+						return true
+					}
+					if !c.cleared {
+						pass.Reportf(n.Pos(), "%s is //async:sched-only but is referenced from %s, "+
+							"which is neither sched-only nor a declared //async:sched-root scheduling-loop entry point",
+							obj.Name(), c.name)
+					}
+				}
+				return true
+			})
+		}
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[d.Name]
+			c := ctx{cleared: schedOnly[obj] || roots[obj], name: d.Name.Name}
+			walk(d.Body, c)
+		}
+	}
+	return nil, nil
+}

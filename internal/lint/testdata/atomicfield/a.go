@@ -1,0 +1,55 @@
+// Package atomicfield holds seeded violations of the atomic-access
+// contract: //async:atomic struct fields touched with plain reads and
+// writes.
+package atomicfield
+
+import "sync/atomic"
+
+type shard struct {
+	// hist is the lock-free snapshot history header.
+	//
+	//async:atomic
+	hist atomic.Pointer[[]int]
+
+	// bits is the clock image, written by the scheduling goroutine and
+	// read from anywhere.
+	//async:atomic
+	bits uint64
+
+	plain int // unannotated: free to access directly
+}
+
+func good(s *shard) []int {
+	atomic.AddUint64(&s.bits, 1)
+	if atomic.LoadUint64(&s.bits) > 3 {
+		atomic.StoreUint64(&s.bits, 0)
+	}
+	s.plain++
+	if hp := s.hist.Load(); hp != nil {
+		return *hp
+	}
+	h := []int{1}
+	s.hist.Store(&h)
+	return h
+}
+
+func plainReads(s *shard) uint64 {
+	x := s.bits // want `plain access to //async:atomic field bits`
+	return x
+}
+
+func plainWrites(s *shard) {
+	s.bits = 7 // want `plain access to //async:atomic field bits`
+	s.bits++   // want `plain access to //async:atomic field bits`
+}
+
+func aliasAtomicValue(s *shard) any {
+	p := s.hist // want `plain access to //async:atomic field hist`
+	return p
+}
+
+func escapeAddress(s *shard) *uint64 {
+	return &s.bits // want `plain access to //async:atomic field bits`
+}
+
+var _ = []any{good, plainReads, plainWrites, aliasAtomicValue, escapeAddress}

@@ -1,0 +1,60 @@
+// Package schedonly holds seeded violations of the scheduling-goroutine
+// contract: //async:sched-only functions referenced from code that is
+// neither sched-only nor a declared scheduling-loop root.
+package schedonly
+
+type engine struct{ clock int }
+
+// advance moves the engine's virtual clock.
+//
+//async:sched-only
+func (e *engine) advance(d int) { e.clock += d }
+
+// admit pops the next event.
+//
+//async:sched-only
+func (e *engine) admit() int {
+	e.advance(1) // sched-only may call sched-only
+	return e.clock
+}
+
+// scheduler is the phase contract.
+type scheduler interface {
+	//async:sched-only
+	Gate(p int) bool
+}
+
+// drive is the scheduling loop.
+//
+//async:sched-root
+func drive(e *engine, s scheduler) {
+	for e.admit() < 10 {
+		if s.Gate(0) { // roots may call sched-only interface methods
+			e.advance(2)
+		}
+	}
+}
+
+// offGoroutine is plain code: it has no business touching the
+// scheduling state.
+func offGoroutine(e *engine, s scheduler) {
+	e.advance(1) // want `advance is //async:sched-only but is referenced from offGoroutine`
+	s.Gate(0)    // want `Gate is //async:sched-only but is referenced from offGoroutine`
+}
+
+// escape leaks a sched-only method as a function value.
+func escape(e *engine) func(int) {
+	return e.advance // want `advance is //async:sched-only but is referenced from escape`
+}
+
+// poolDispatch shows a function literal does NOT inherit its enclosing
+// root's clearance: the closure may run on a pool goroutine.
+//
+//async:sched-root
+func poolDispatch(e *engine) {
+	go func() {
+		e.advance(1) // want `advance is //async:sched-only but is referenced from poolDispatch \(func literal\)`
+	}()
+}
+
+var _ = []any{drive, offGoroutine, escape, poolDispatch}

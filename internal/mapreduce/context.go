@@ -8,8 +8,6 @@ import "sync"
 // goroutines (Hadoop tasks are single-threaded too; the paper's local
 // thread pool lives above this layer, in internal/core).
 type TaskContext[K comparable, V any] struct {
-	taskID int
-
 	out []KV[K, V]
 
 	// ops is app-charged compute (edge relaxations, distance
@@ -24,9 +22,6 @@ type TaskContext[K comparable, V any] struct {
 
 	counters map[string]int64
 }
-
-// TaskID returns the id of the task this context belongs to.
-func (c *TaskContext[K, V]) TaskID() int { return c.taskID }
 
 // Emit appends one record to the task output: intermediate records for a
 // map task, final records for a reduce task.
@@ -64,7 +59,6 @@ func (c *TaskContext[K, V]) Counter(name string, delta int64) {
 // taskStats is the accounting record a finished task attempt hands back
 // to the scheduler.
 type taskStats struct {
-	id         int
 	inRecords  int64
 	inBytes    int64
 	homeLocal  bool

@@ -85,7 +85,7 @@ func Run[P any, K comparable, V any](e *Engine, job *Job[P, K, V], splits []Spli
 	mapStats := make([]taskStats, len(splits))
 	err := e.forEachTask(len(splits), func(i int) error {
 		sp := &splits[i]
-		ctx := &TaskContext[K, V]{taskID: sp.ID}
+		ctx := &TaskContext[K, V]{}
 		job.Map(ctx, *sp)
 		if job.Combine != nil {
 			combineTaskOutput(job, ctx)
@@ -96,7 +96,6 @@ func Run[P any, K comparable, V any](e *Engine, job *Job[P, K, V], splits []Spli
 		}
 		mapOuts[i] = ctx.out
 		mapStats[i] = taskStats{
-			id:         sp.ID,
 			inRecords:  sp.Records,
 			inBytes:    sp.Bytes,
 			homeLocal:  sp.Home >= 0,
@@ -190,7 +189,7 @@ func Run[P any, K comparable, V any](e *Engine, job *Job[P, K, V], splits []Spli
 	redOuts := make([][]KV[K, V], nReduce)
 	redStats := make([]taskStats, nReduce)
 	err = e.forEachTask(nReduce, func(p int) error {
-		ctx := &TaskContext[K, V]{taskID: p}
+		ctx := &TaskContext[K, V]{}
 		keys, groups := groupByKey(parts[p])
 		for _, k := range keys {
 			job.Reduce(ctx, k, groups[k])
@@ -201,7 +200,6 @@ func Run[P any, K comparable, V any](e *Engine, job *Job[P, K, V], splits []Spli
 		}
 		redOuts[p] = ctx.out
 		redStats[p] = taskStats{
-			id:         p,
 			inRecords:  int64(len(parts[p])),
 			outRecords: int64(len(ctx.out)),
 			outBytes:   outBytes,
@@ -256,7 +254,11 @@ func Run[P any, K comparable, V any](e *Engine, job *Job[P, K, V], splits []Spli
 	return res, nil
 }
 
-// finish stamps totals and advances the clock.
+// finish stamps totals and advances the clock. It is a scheduling-loop
+// root: the engine drives whole jobs from one goroutine, so the clock
+// advance here is the single-writer the simtime.Clock contract wants.
+//
+//async:sched-root
 func finish[K comparable, V any](e *Engine, res *Result[K, V], counters *counterSet) {
 	res.Duration = res.Phases.Total()
 	res.Counters = counters.snapshot()

@@ -22,6 +22,13 @@
 // async runtime owns the crash handling; this package owns the fault
 // model's data: when workers crash (Plan), when they checkpoint
 // (Policy), and what a recovery must replay (Log).
+//
+// The package is part of the deterministic engine core (crash schedules
+// must be pure functions of the seed), so wall-clock reads, global
+// randomness, and map-order iteration are forbidden here (enforced by
+// cmd/asynclint).
+//
+//async:deterministic
 package recovery
 
 import (
@@ -79,6 +86,8 @@ func (p *Plan) Enabled() bool { return p.rngs != nil }
 // Next returns worker w's next crash time. ok is false when crashes are
 // disabled. The returned time does not advance the plan; call Advance
 // after the crash has been processed.
+//
+//async:sched-only
 func (p *Plan) Next(w int) (at simtime.Duration, ok bool) {
 	if p.rngs == nil {
 		return 0, false
@@ -91,6 +100,8 @@ func (p *Plan) Next(w int) (at simtime.Duration, ok bool) {
 // w's own stream; recovery time is excluded from the exposure (a worker
 // being restored is not accumulating wear), which is why the gap is
 // added to the later of the fired time and the recovered clock.
+//
+//async:sched-only
 func (p *Plan) Advance(w int, recoveredAt simtime.Duration) simtime.Duration {
 	p.next[w] = p.draw(w, recoveredAt)
 	return p.next[w]
@@ -221,6 +232,8 @@ type Log struct {
 }
 
 // Record appends one executed step to the journal.
+//
+//async:sched-only
 func (l *Log) Record(step int, readAt, cost simtime.Duration) {
 	l.Steps = append(l.Steps, StepRecord{Step: step, ReadAt: readAt, Cost: cost})
 }
@@ -242,6 +255,8 @@ func (l *Log) ReplayCost() simtime.Duration {
 // slices are copied into the checkpoint's own backing arrays (reused
 // across commits) so the hot path does not allocate per checkpoint
 // after the first.
+//
+//async:sched-only
 func (l *Log) Commit(state any, bytes int64, step int, at simtime.Duration, cursors, consumed []int) {
 	l.Ckpt.State = state
 	l.Ckpt.Bytes = bytes

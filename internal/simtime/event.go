@@ -25,6 +25,8 @@ func (h *EventHeap) Len() int { return len(h.events) }
 // Peek returns the earliest pending event without removing it; ok is
 // false when the heap is empty. Schedulers read the head's time as the
 // admission frontier before popping.
+//
+//async:sched-only
 func (h *EventHeap) Peek() (ev Event, ok bool) {
 	if len(h.events) == 0 {
 		return Event{}, false
@@ -33,6 +35,8 @@ func (h *EventHeap) Peek() (ev Event, ok bool) {
 }
 
 // Push schedules id at time at, stamping the next sequence number.
+//
+//async:sched-only
 func (h *EventHeap) Push(at Duration, id int) {
 	e := Event{At: at, Seq: h.nextSeq, ID: id}
 	h.nextSeq++
@@ -50,6 +54,8 @@ func (h *EventHeap) Push(at Duration, id int) {
 
 // Pop removes and returns the earliest event. Popping an empty heap is a
 // scheduling bug and panics.
+//
+//async:sched-only
 func (h *EventHeap) Pop() Event {
 	if len(h.events) == 0 {
 		panic("simtime: Pop on empty EventHeap")

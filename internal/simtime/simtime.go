@@ -6,6 +6,12 @@
 //
 // Duration is a float64 count of simulated seconds. A dedicated type keeps
 // simulated time from being confused with time.Duration at compile time.
+//
+// The package is part of the deterministic engine core: replays must be
+// bit-identical, so wall-clock reads, global randomness, and map-order
+// iteration are forbidden here (enforced by cmd/asynclint).
+//
+//async:deterministic
 package simtime
 
 import (
@@ -54,7 +60,12 @@ func (d Duration) String() string {
 // are plain Durations owned by the scheduling loop; this type is the
 // shared, concurrently-readable cluster clock they merge into.
 type Clock struct {
-	bits atomic.Uint64 // Duration as float64 bits; zero value = time zero
+	// bits holds the Duration as float64 bits; zero value = time zero.
+	// Read concurrently by progress reporting while the scheduling loop
+	// advances it, so every access must go through sync/atomic.
+	//
+	//async:atomic
+	bits atomic.Uint64
 }
 
 // Now returns the current virtual time since the clock's epoch. Safe for
@@ -63,12 +74,15 @@ func (c *Clock) Now() Duration {
 	return Duration(math.Float64frombits(c.bits.Load()))
 }
 
+//async:sched-only
 func (c *Clock) store(t Duration) {
 	c.bits.Store(math.Float64bits(float64(t)))
 }
 
 // Advance moves the clock forward by d. Negative advances panic: virtual
 // time never flows backwards, and a negative d means a cost model bug.
+//
+//async:sched-only
 func (c *Clock) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative advance %v", d))
@@ -78,6 +92,8 @@ func (c *Clock) Advance(d Duration) {
 
 // AdvanceTo moves the clock to t if t is later than now; earlier t is a
 // no-op (joining an event that finished in the past costs nothing).
+//
+//async:sched-only
 func (c *Clock) AdvanceTo(t Duration) {
 	if t > c.Now() {
 		c.store(t)
@@ -85,6 +101,8 @@ func (c *Clock) AdvanceTo(t Duration) {
 }
 
 // Reset rewinds the clock to zero for reuse across experiment runs.
+//
+//async:sched-only
 func (c *Clock) Reset() { c.store(0) }
 
 // MaxOver returns the maximum of ds, the virtual time at which a barrier

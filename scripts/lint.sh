@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# lint.sh — static-analysis gate: go vet plus the asynclint suite
+# (internal/lint via cmd/asynclint), which mechanically enforces the
+# async runtime's determinism and concurrency contracts:
+#
+#   determinism  no wall clock / global rand / map-order iteration in
+#                //async:deterministic-marked engine packages
+#   schedonly    //async:sched-only functions reachable only from the
+#                scheduling loop (//async:sched-root entry points)
+#   atomicfield  //async:atomic struct fields accessed via sync/atomic
+#   purepolicy   adapt.Policy implementations are pure functions of
+#                their Signals
+#
+# The driver is a standard go/analysis unitchecker, so the go command
+# loads packages and caches results; annotations on exported symbols
+# flow across package boundaries as analysis facts.
+#
+# Usage: scripts/lint.sh [packages...]   (default ./...)
+set -eu
+
+cd "$(dirname "$0")/.."
+pkgs=${*:-./...}
+
+echo "lint: go vet $pkgs"
+go vet $pkgs
+
+echo "lint: asynclint $pkgs"
+go build -o bin/asynclint ./cmd/asynclint
+go vet -vettool=bin/asynclint $pkgs
+
+echo "lint: ok"
