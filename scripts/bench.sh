@@ -2,18 +2,19 @@
 # bench.sh — record the async-runtime performance baseline.
 #
 # Runs the async benchmarks with -benchmem and writes the parsed results
-# as JSON (default BENCH_PR5.json at the repo root) so later PRs can
+# as JSON (default BENCH_PR7.json at the repo root) so later PRs can
 # diff allocs/op and ns/op against a committed trajectory point. The
-# committed BENCH_PR5.json was recorded BEFORE the adaptive staleness
-# controller landed (so it has no BenchmarkAsyncAdaptive rows, and its
-# BenchmarkAsyncParallel rows predate the controller's run-level
-# bookkeeping); re-run this script as scripts/bench.sh BENCH_PRn.json to
-# extend the trajectory.
+# committed BENCH_PR7.json was recorded BEFORE the PR 7 raw-speed pass
+# (flat-buffer K-Means/CC adapters, engine-owned scratch in the legacy
+# general/eager engines), so it has no BenchmarkAsyncParallel/cc rows
+# and carries the old ~8.3K-allocs/op K-Means and ~14.7M-allocs/op
+# modes-bench figures; re-run this script as scripts/bench.sh
+# BENCH_PRn.json to extend the trajectory.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -eu
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR7.json}
 benchtime=${2:-3x}
 cd "$(dirname "$0")/.."
 
