@@ -446,6 +446,10 @@ func BenchmarkAsyncModesGraphB(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
+		gen, err := pagerank.Run(ec2Engine(), subs, pagerank.DefaultConfig(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
 		eag, err := pagerank.Run(ec2Engine(), subs, pagerank.DefaultConfig(), true)
 		if err != nil {
 			b.Fatal(err)
@@ -455,8 +459,12 @@ func BenchmarkAsyncModesGraphB(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportMetric(gen.Stats.Duration.Seconds(), "sim-seconds-general")
 		b.ReportMetric(eag.Stats.Duration.Seconds(), "sim-seconds-eager")
 		b.ReportMetric(asy.Stats.Duration.Seconds(), "sim-seconds-async")
+		b.ReportMetric(float64(gen.Stats.GlobalIterations), "iters-general")
+		b.ReportMetric(float64(eag.Stats.GlobalIterations), "iters-eager")
+		b.ReportMetric(asy.Stats.MeanSteps, "iters-async")
 		if asy.Stats.Duration > 0 {
 			b.ReportMetric(eag.Stats.Duration.Seconds()/asy.Stats.Duration.Seconds(), "speedup-async-vs-eager")
 		}
@@ -515,7 +523,7 @@ func BenchmarkAsyncParallel(b *testing.B) {
 	// Parity baselines shared across the executor sub-benchmarks: the
 	// DES rows run first and every later run — either executor, any
 	// GOMAXPROCS — must reproduce their virtual-time results exactly.
-	var basePR, baseKM *async.RunStats
+	var basePR, baseKM, baseCC *async.RunStats
 	for _, ex := range []async.Executor{async.DES, async.Parallel} {
 		opt := async.Options{Staleness: harness.DefaultStaleness, Executor: ex}
 		b.Run("pagerank/"+ex.String(), func(b *testing.B) {
@@ -547,6 +555,22 @@ func BenchmarkAsyncParallel(b *testing.B) {
 				} else if res.Stats.Duration != baseKM.Duration || res.Stats.Steps != baseKM.Steps {
 					b.Fatalf("%v diverged from DES baseline: %v/%d vs %v/%d",
 						ex, res.Stats.Duration, res.Stats.Steps, baseKM.Duration, baseKM.Steps)
+				}
+				b.ReportMetric(float64(res.Stats.Speculated)/float64(res.Stats.Steps), "speculated-frac")
+				b.ReportMetric(float64(res.Stats.SpecDepth), "spec-depth")
+			}
+		})
+		b.Run("cc/"+ex.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := cc.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs, cc.Config{}, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if baseCC == nil {
+					baseCC = res.Stats
+				} else if res.Stats.Duration != baseCC.Duration || res.Stats.Steps != baseCC.Steps {
+					b.Fatalf("%v diverged from DES baseline: %v/%d vs %v/%d",
+						ex, res.Stats.Duration, res.Stats.Steps, baseCC.Duration, baseCC.Steps)
 				}
 				b.ReportMetric(float64(res.Stats.Speculated)/float64(res.Stats.Steps), "speculated-frac")
 				b.ReportMetric(float64(res.Stats.SpecDepth), "spec-depth")

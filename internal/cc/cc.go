@@ -55,10 +55,13 @@ type asyncState struct {
 	sub    *graph.SubGraph
 	comp   []graph.NodeID
 	active []bool
-	// inLocal is the partition-internal reverse adjacency (labels flow
-	// against edge direction too; SubGraph only stores the forward
-	// split).
-	inLocal [][]int32
+	// inLocalOff/inLocalAdj are the partition-internal reverse adjacency
+	// in CSR form (labels flow against edge direction too; SubGraph only
+	// stores the forward split): node li's local in-neighbors are
+	// inLocalAdj[inLocalOff[li]:inLocalOff[li+1]]. One offset array plus
+	// one slab instead of a []int32 per node.
+	inLocalOff []int32
+	inLocalAdj []int32
 	// next is the reusable next-frontier buffer of the local sweeps,
 	// mirroring the engine's reusable step buffers: the hot per-step
 	// loop allocates nothing.
@@ -67,6 +70,14 @@ type asyncState struct {
 	// either direction; the partition publishes their labels.
 	border  []int32
 	lastPub []graph.NodeID
+	// arena backs published border vectors. The store's history is
+	// append-only (crash replay re-reads old versions), so published
+	// slices can never be reused — but they can be carved out of chunks
+	// sized for ~16 publishes, amortizing the per-publish allocation.
+	arena []graph.NodeID
+	// ckpts are the ping-pong checkpoint buffers (see Checkpoint).
+	ckpts [2]asyncCkpt
+	ckptN int
 	// Cross-edge read plan: entry r relaxes node ghostNode[r] with
 	// inputs[ghostSlot[r]].Data[ghostIdx[r]] — covering both the remote
 	// sources of local in-edges and the remote targets of local
@@ -96,14 +107,17 @@ type asyncCkpt struct {
 	lastPub []graph.NodeID
 }
 
-// Checkpoint implements async.Recoverable.
+// Checkpoint implements async.Recoverable. It ping-pongs between two
+// per-partition buffers: the scheduler commits every checkpoint
+// immediately and its log retains only the latest, so the buffer filled
+// two Checkpoint calls ago is unreachable and safe to overwrite.
 func (w *asyncWorkload) Checkpoint(p int) (any, int64) {
 	st := w.states[p]
-	c := &asyncCkpt{
-		comp:    append([]graph.NodeID(nil), st.comp...),
-		active:  append([]bool(nil), st.active...),
-		lastPub: append([]graph.NodeID(nil), st.lastPub...),
-	}
+	c := &st.ckpts[st.ckptN]
+	st.ckptN ^= 1
+	c.comp = append(c.comp[:0], st.comp...)
+	c.active = append(c.active[:0], st.active...)
+	c.lastPub = append(c.lastPub[:0], st.lastPub...)
 	return c, 16 + 4*int64(len(c.comp)+len(c.lastPub)) + int64(len(c.active))
 }
 
@@ -161,13 +175,14 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID
 					next = append(next, dst)
 				}
 			}
-			for _, src := range st.inLocal[li] {
+			inLocal := st.inLocalAdj[st.inLocalOff[li]:st.inLocalOff[li+1]]
+			for _, src := range inLocal {
 				if c < st.comp[src] {
 					st.comp[src] = c
 					next = append(next, src)
 				}
 			}
-			ops += int64(len(sub.OutLocal[li]) + len(st.inLocal[li]))
+			ops += int64(len(sub.OutLocal[li]) + len(inLocal))
 		}
 		st.next = next
 		sweeps++
@@ -201,7 +216,12 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID
 		Quiescent:  !frontierLeft,
 	}
 	if changed {
-		pub := make([]graph.NodeID, len(st.border))
+		if cap(st.arena)-len(st.arena) < len(st.border) {
+			st.arena = make([]graph.NodeID, 0, 16*len(st.border))
+		}
+		lo := len(st.arena)
+		st.arena = st.arena[:lo+len(st.border)]
+		pub := st.arena[lo:len(st.arena):len(st.arena)]
 		for bi, li := range st.border {
 			pub[bi] = st.comp[li]
 		}
@@ -265,10 +285,9 @@ func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int
 	for p, s := range subs {
 		m := s.NumNodes()
 		st := &asyncState{
-			sub:     s,
-			comp:    make([]graph.NodeID, m),
-			active:  make([]bool, m),
-			inLocal: make([][]int32, m),
+			sub:    s,
+			comp:   make([]graph.NodeID, m),
+			active: make([]bool, m),
 		}
 		for li, u := range s.Nodes {
 			st.comp[li] = u
@@ -280,9 +299,25 @@ func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int
 				st.border = append(st.border, int32(li))
 			}
 		}
+		// Reverse adjacency in CSR form: count in-degrees, prefix-sum
+		// into offsets, then scatter with the offsets as cursors (they
+		// end up shifted one slot left, i.e. back to final form).
+		st.inLocalOff = make([]int32, m+1)
 		for li := range s.Nodes {
 			for _, dst := range s.OutLocal[li] {
-				st.inLocal[dst] = append(st.inLocal[dst], int32(li))
+				st.inLocalOff[dst+1]++
+			}
+		}
+		for li := 0; li < m; li++ {
+			st.inLocalOff[li+1] += st.inLocalOff[li]
+		}
+		st.inLocalAdj = make([]int32, st.inLocalOff[m])
+		cursor := make([]int32, m)
+		copy(cursor, st.inLocalOff[:m])
+		for li := range s.Nodes {
+			for _, dst := range s.OutLocal[li] {
+				st.inLocalAdj[cursor[dst]] = int32(li)
+				cursor[dst]++
 			}
 		}
 		st.lastPub = make([]graph.NodeID, len(st.border))

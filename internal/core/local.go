@@ -20,9 +20,21 @@ import (
 type LocalContext[K comparable, V any] struct {
 	task *mapreduce.TaskContext[K, V]
 
-	// intermediate buffer (EmitLocalIntermediate), grouped lazily.
+	// Intermediate buffer (EmitLocalIntermediate), grouped lazily.
+	// Every key ever emitted gets a stable bucket index (bucketOf) whose
+	// value slice persists across local iterations: clearIntermediate
+	// truncates used buckets to length 0 but keeps their capacity, so
+	// steady-state iterations append into already-sized backing arrays
+	// instead of regrowing a fresh map[K][]V each sweep. interKeys and
+	// interIdx record this iteration's keys in first-emitted order.
 	interKeys []K
-	inter     map[K][]V
+	interIdx  []int32
+	bucketOf  map[K]int32
+	buckets   [][]V
+
+	// shards caches the per-worker lmap contexts for a threaded lmap
+	// phase so their buckets survive across local iterations too.
+	shards []*LocalContext[K, V]
 
 	// state is the paper's hashtable of local results (EmitLocal).
 	stateKeys []K
@@ -40,20 +52,26 @@ type LocalContext[K comparable, V any] struct {
 
 func newLocalContext[K comparable, V any](tc *mapreduce.TaskContext[K, V]) *LocalContext[K, V] {
 	return &LocalContext[K, V]{
-		task:  tc,
-		inter: make(map[K][]V),
-		state: make(map[K]V),
+		task:     tc,
+		bucketOf: make(map[K]int32),
+		state:    make(map[K]V),
 	}
 }
 
 // EmitLocalIntermediate buffers one record for the next local reduce,
 // the paper's EmitLocalIntermediate().
 func (lc *LocalContext[K, V]) EmitLocalIntermediate(key K, value V) {
-	vs, ok := lc.inter[key]
+	b, ok := lc.bucketOf[key]
 	if !ok {
-		lc.interKeys = append(lc.interKeys, key)
+		b = int32(len(lc.buckets))
+		lc.bucketOf[key] = b
+		lc.buckets = append(lc.buckets, nil)
 	}
-	lc.inter[key] = append(vs, value)
+	if len(lc.buckets[b]) == 0 {
+		lc.interKeys = append(lc.interKeys, key)
+		lc.interIdx = append(lc.interIdx, b)
+	}
+	lc.buckets[b] = append(lc.buckets[b], value)
 }
 
 // EmitLocal stores one record into the local hashtable, the paper's
@@ -104,12 +122,16 @@ func (lc *LocalContext[K, V]) resetState() {
 }
 
 // clearIntermediate resets the intermediate buffer between local
-// iterations, keeping allocated capacity.
+// iterations, keeping allocated capacity: only this iteration's used
+// buckets are truncated, the key→bucket index survives. (For pointer-ish
+// V the truncated buckets keep their last values reachable until
+// overwritten — acceptable for scratch confined to one gmap task.)
 func (lc *LocalContext[K, V]) clearIntermediate() {
-	for k := range lc.inter {
-		delete(lc.inter, k)
+	for _, b := range lc.interIdx {
+		lc.buckets[b] = lc.buckets[b][:0]
 	}
 	lc.interKeys = lc.interKeys[:0]
+	lc.interIdx = lc.interIdx[:0]
 }
 
 // LocalSpec describes the inner (local) MapReduce of one gmap task. P is
@@ -261,24 +283,30 @@ func runLMapPhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V]
 	}
 	// Shard elements into contiguous chunks; each worker emits into a
 	// private child context; merge in chunk order for determinism. The
-	// hashtable (read-only during lmap) is shared via the parent.
+	// hashtable (read-only during lmap) is shared via the parent. Shard
+	// contexts are cached on the parent so their buckets, like the
+	// parent's, keep capacity across local iterations.
 	// Worker panics are captured and re-raised on the task goroutine so
 	// the engine's per-task recovery still catches bad user code.
 	n := spec.Threads
-	shards := make([]*LocalContext[K, V], n)
+	for len(lc.shards) < n {
+		lc.shards = append(lc.shards, &LocalContext[K, V]{
+			task:      lc.task,
+			bucketOf:  make(map[K]int32),
+			state:     lc.state, // shared read-only view for Value()
+			lmapShard: true,
+		})
+	}
+	shards := lc.shards[:n]
 	panics := make([]any, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for w := 0; w < n; w++ {
 		lo := w * len(elems) / n
 		hi := (w + 1) * len(elems) / n
-		shard := &LocalContext[K, V]{
-			task:      lc.task,
-			inter:     make(map[K][]V),
-			state:     lc.state, // shared read-only view for Value()
-			lmapShard: true,
-		}
-		shards[w] = shard
+		shard := shards[w]
+		shard.clearIntermediate()
+		shard.ops = 0 // merged into the parent at the end of each phase
 		go func(w int, chunk []E, sh *LocalContext[K, V]) {
 			defer wg.Done()
 			defer func() {
@@ -298,12 +326,18 @@ func runLMapPhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V]
 		}
 	}
 	for _, sh := range shards {
-		for _, k := range sh.interKeys {
-			vs, ok := lc.inter[k]
+		for i, k := range sh.interKeys {
+			b, ok := lc.bucketOf[k]
 			if !ok {
-				lc.interKeys = append(lc.interKeys, k)
+				b = int32(len(lc.buckets))
+				lc.bucketOf[k] = b
+				lc.buckets = append(lc.buckets, nil)
 			}
-			lc.inter[k] = append(vs, sh.inter[k]...)
+			if len(lc.buckets[b]) == 0 {
+				lc.interKeys = append(lc.interKeys, k)
+				lc.interIdx = append(lc.interIdx, b)
+			}
+			lc.buckets[b] = append(lc.buckets[b], sh.buckets[sh.interIdx[i]]...)
 		}
 		lc.ops += sh.ops
 	}
@@ -312,7 +346,7 @@ func runLMapPhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V]
 // runLReducePhase folds every intermediate key group through LReduce in
 // deterministic first-emitted order.
 func runLReducePhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V], lc *LocalContext[K, V], part P) {
-	for _, k := range lc.interKeys {
-		spec.LReduce(lc, part, k, lc.inter[k])
+	for i, k := range lc.interKeys {
+		spec.LReduce(lc, part, k, lc.buckets[lc.interIdx[i]])
 	}
 }

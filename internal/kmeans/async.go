@@ -2,6 +2,7 @@ package kmeans
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/async"
 	"repro/internal/cluster"
@@ -20,6 +21,20 @@ type AsyncResult struct {
 	OscillationStop bool
 }
 
+// The async adapter keeps accumulators and centroids in flat buffers
+// rather than the sync path's []Accum / [][]float64:
+//
+//   - an accumulator set is one []float64 of length K*(dims+1), cluster
+//     c's per-dimension sums at [c*dims : (c+1)*dims] and its member
+//     count — an exact small integer in float64 — at [K*dims + c];
+//   - a centroid estimate is one []float64 of length K*dims.
+//
+// One flat buffer per partition plus swap/scratch twins replaces the
+// per-step make([]Accum, K) + per-centroid make([]float64, dims) churn,
+// and a publish clones one flat buffer instead of K Accums. All
+// arithmetic runs in the exact order of the old nested layout, so
+// results stay bit-identical (pinned by TestAsyncFlatAccumGoldens).
+
 // asyncState is one partition's worker payload in the parameter-server
 // formulation: the partition assigns its own points under its current
 // estimate of the global centroids and publishes per-cluster
@@ -27,15 +42,24 @@ type AsyncResult struct {
 // accumulators, read with bounded staleness.
 type asyncState struct {
 	points [][]float64
-	// accum is the partition's current per-cluster accumulator set
-	// (what it last computed; published on change).
-	accum []Accum
-	// centroids is the partition's current estimate of the global
-	// centers; empty clusters keep their previous center.
-	centroids [][]float64
+	// accum is the partition's current flat accumulator set (what it
+	// last computed; published on change). stepAccum is the assignment
+	// scratch the next step fills before the two swap.
+	accum     []float64
+	stepAccum []float64
+	// centroids is the partition's current flat estimate of the global
+	// centers; nextCentroids is the fold scratch it swaps with. Empty
+	// clusters keep their previous center.
+	centroids     []float64
+	nextCentroids []float64
+	// foldSum is the per-cluster fold scratch (len dims).
+	foldSum []float64
 	// history drives oscillation detection, as in the synchronous modes.
 	history    []float64
 	oscillated bool
+	// ckpts are the ping-pong checkpoint buffers (see Checkpoint).
+	ckpts [2]asyncCkpt
+	ckptN int
 }
 
 // asyncWorkload implements async.Workload for K-Means. Every partition
@@ -53,25 +77,28 @@ func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.allOthers[p] }
 
 // asyncCkpt is one partition's checkpoint for the crash fault model:
-// the accumulator set, the centroid estimate, and the oscillation
-// detector's movement history (which replay re-extends
+// the flat accumulator set, the flat centroid estimate, and the
+// oscillation detector's movement history (which replay re-extends
 // deterministically). The points themselves are immutable job input.
 type asyncCkpt struct {
-	accum      []Accum
-	centroids  [][]float64
+	accum      []float64
+	centroids  []float64
 	history    []float64
 	oscillated bool
 }
 
-// Checkpoint implements async.Recoverable.
+// Checkpoint implements async.Recoverable. It ping-pongs between two
+// per-partition buffers: the scheduler commits every checkpoint
+// immediately and its log retains only the latest, so the buffer filled
+// two Checkpoint calls ago is unreachable and safe to overwrite.
 func (w *asyncWorkload) Checkpoint(p int) (any, int64) {
 	st := w.states[p]
-	c := &asyncCkpt{
-		accum:      cloneAccums(st.accum),
-		centroids:  cloneCentroids(st.centroids),
-		history:    append([]float64(nil), st.history...),
-		oscillated: st.oscillated,
-	}
+	c := &st.ckpts[st.ckptN]
+	st.ckptN ^= 1
+	c.accum = append(c.accum[:0], st.accum...)
+	c.centroids = append(c.centroids[:0], st.centroids...)
+	c.history = append(c.history[:0], st.history...)
+	c.oscillated = st.oscillated
 	bytes := int64(w.cfg.K)*(16+8*int64(w.dims)) + // accumulators
 		int64(w.cfg.K)*8*int64(w.dims) + // centroid estimate
 		8*int64(len(c.history)) + 16
@@ -82,74 +109,79 @@ func (w *asyncWorkload) Checkpoint(p int) (any, int64) {
 func (w *asyncWorkload) Restore(p int, state any) {
 	c := state.(*asyncCkpt)
 	st := w.states[p]
-	st.accum = cloneAccums(c.accum)
-	st.centroids = cloneCentroids(c.centroids)
+	copy(st.accum, c.accum)
+	copy(st.centroids, c.centroids)
 	st.history = append(st.history[:0], c.history...)
 	st.oscillated = c.oscillated
 }
 
-func (w *asyncWorkload) Init(p int) ([]Accum, int64) {
+func (w *asyncWorkload) Init(p int) ([]float64, int64) {
 	st := w.states[p]
 	// Version 0 is an empty accumulator set: the first fold leaves every
 	// worker at exactly the shared initial centroids.
-	empty := make([]Accum, w.cfg.K)
+	empty := make([]float64, w.cfg.K*(w.dims+1))
 	return empty, int64(len(st.points) * w.dims * 8)
 }
 
-func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]Accum]) async.StepOutcome[[]Accum] {
+func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]float64]) async.StepOutcome[[]float64] {
 	st := w.states[p]
 	cfg := w.cfg
 	dims := w.dims
+	countsOff := cfg.K * dims
 	var ops int64
 
 	// Fold neighbor accumulators with this partition's own into the
 	// global centroid estimate; empty clusters keep their last center.
-	next := cloneCentroids(st.centroids)
+	next := st.nextCentroids
+	copy(next, st.centroids)
 	for c := 0; c < cfg.K; c++ {
-		sum := make([]float64, dims)
-		var count int64
-		add := func(a Accum) {
-			for d, x := range a.Sum {
-				sum[d] += x
-			}
-			count += a.Count
-		}
+		base := c * dims
+		sum := st.foldSum
+		clear(sum)
+		count := 0.0
 		for _, in := range inputs {
-			add(in.Data[c])
+			data := in.Data
+			for d := 0; d < dims; d++ {
+				sum[d] += data[base+d]
+			}
+			count += data[countsOff+c]
 		}
-		add(st.accum[c])
+		for d := 0; d < dims; d++ {
+			sum[d] += st.accum[base+d]
+		}
+		count += st.accum[countsOff+c]
 		if count > 0 {
 			for d := 0; d < dims; d++ {
-				next[c][d] = sum[d] / float64(count)
+				next[base+d] = sum[d] / count
 			}
 		}
 	}
 	ops += int64(cfg.K * dims * (len(inputs) + 2))
 
 	movement := 0.0
-	for c := range next {
-		if m := centroidMovement(next[c], st.centroids[c]); m > movement {
+	for c := 0; c < cfg.K; c++ {
+		base := c * dims
+		if m := centroidMovement(next[base:base+dims], st.centroids[base:base+dims]); m > movement {
 			movement = m
 		}
 	}
-	st.centroids = next
+	st.centroids, st.nextCentroids = next, st.centroids
 
 	// Assign this partition's points under the new estimate.
-	newAccum := make([]Accum, cfg.K)
-	for c := range newAccum {
-		newAccum[c].Sum = make([]float64, dims)
-	}
+	newAccum := st.stepAccum
+	clear(newAccum)
 	for _, pt := range st.points {
-		c := nearest(st.centroids, pt)
+		c := nearestFlat(st.centroids, dims, pt)
+		base := c * dims
 		for d, x := range pt {
-			newAccum[c].Sum[d] += x
+			newAccum[base+d] += x
 		}
-		newAccum[c].Count++
+		newAccum[countsOff+c]++
 	}
 	ops += int64(len(st.points) * cfg.K * dims)
 
-	changed := accumsDiffer(st.accum, newAccum)
-	st.accum = newAccum
+	changed := flatAccumsDiffer(st.accum, newAccum)
+	st.accum, st.stepAccum = newAccum, st.accum
 
 	quiescent := movement < cfg.Threshold
 	if !quiescent && cfg.OscillationWindow > 1 {
@@ -163,17 +195,56 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]Accum]) asyn
 		}
 	}
 
-	out := async.StepOutcome[[]Accum]{
+	out := async.StepOutcome[[]float64]{
 		Ops:        ops,
 		LocalIters: 1,
 		Quiescent:  quiescent,
 	}
 	if changed {
 		out.Publish = true
-		out.Data = cloneAccums(newAccum)
+		// The store's history is append-only (crash replay re-reads old
+		// versions), so the published set must be a fresh clone — one
+		// flat allocation per publish.
+		out.Data = append([]float64(nil), st.accum...)
 		out.Bytes = int64(cfg.K) * (16 + 8*int64(dims))
 	}
 	return out
+}
+
+// newAsyncWorkload builds the flat per-partition states. Initial
+// centroids and partitioning match the synchronous modes: random
+// distinct points, contiguous chunks of a permutation. Split out of
+// RunAsync so tests can drive Step directly.
+func newAsyncWorkload(points [][]float64, numParts int, cfg Config, dims int) *asyncWorkload {
+	rng := stats.NewRNG(cfg.Seed)
+	centroids := make([]float64, cfg.K*dims)
+	for c := 0; c < cfg.K; c++ {
+		copy(centroids[c*dims:(c+1)*dims], points[rng.Intn(len(points))])
+	}
+	perm := rng.Perm(len(points))
+	flatLen := cfg.K * (dims + 1)
+	states := make([]*asyncState, numParts)
+	allOthers := make([][]int, numParts)
+	for i := range states {
+		lo, hi := i*len(points)/numParts, (i+1)*len(points)/numParts
+		st := &asyncState{
+			accum:         make([]float64, flatLen),
+			stepAccum:     make([]float64, flatLen),
+			centroids:     append([]float64(nil), centroids...),
+			nextCentroids: make([]float64, cfg.K*dims),
+			foldSum:       make([]float64, dims),
+		}
+		for _, pi := range perm[lo:hi] {
+			st.points = append(st.points, points[pi])
+		}
+		states[i] = st
+		for q := 0; q < numParts; q++ {
+			if q != i {
+				allOthers[i] = append(allOthers[i], q)
+			}
+		}
+	}
+	return &asyncWorkload{cfg: cfg, dims: dims, states: states, allOthers: allOthers}
 }
 
 // RunAsync clusters points into cfg.K clusters over numParts partitions
@@ -203,36 +274,8 @@ func RunAsync(c *cluster.Cluster, points [][]float64, numParts int, cfg Config, 
 			return nil, fmt.Errorf("kmeans: point %d has %d dims, want %d", i, len(p), dims)
 		}
 	}
-	rng := stats.NewRNG(cfg.Seed)
 
-	// Initial centroids and partitioning match the synchronous modes:
-	// random distinct points, contiguous chunks of a permutation.
-	centroids := make([][]float64, cfg.K)
-	for c := range centroids {
-		centroids[c] = append([]float64(nil), points[rng.Intn(len(points))]...)
-	}
-	perm := rng.Perm(len(points))
-	states := make([]*asyncState, numParts)
-	allOthers := make([][]int, numParts)
-	for i := range states {
-		lo, hi := i*len(points)/numParts, (i+1)*len(points)/numParts
-		st := &asyncState{centroids: cloneCentroids(centroids)}
-		for _, pi := range perm[lo:hi] {
-			st.points = append(st.points, points[pi])
-		}
-		st.accum = make([]Accum, cfg.K)
-		for c := range st.accum {
-			st.accum[c].Sum = make([]float64, dims)
-		}
-		states[i] = st
-		for q := 0; q < numParts; q++ {
-			if q != i {
-				allOthers[i] = append(allOthers[i], q)
-			}
-		}
-	}
-
-	w := &asyncWorkload{cfg: cfg, dims: dims, states: states, allOthers: allOthers}
+	w := newAsyncWorkload(points, numParts, cfg, dims)
 	runStats, err := async.Run(c, w, opt)
 	if err != nil {
 		return nil, err
@@ -240,24 +283,27 @@ func RunAsync(c *cluster.Cluster, points [][]float64, numParts int, cfg Config, 
 
 	// Final centers: fold every partition's final accumulators; empty
 	// clusters keep the first partition's last estimate.
-	final := cloneCentroids(states[0].centroids)
+	countsOff := cfg.K * dims
+	final := make([][]float64, cfg.K)
 	for c := 0; c < cfg.K; c++ {
+		base := c * dims
+		final[c] = append([]float64(nil), w.states[0].centroids[base:base+dims]...)
 		sum := make([]float64, dims)
-		var count int64
-		for _, st := range states {
-			for d, x := range st.accum[c].Sum {
-				sum[d] += x
+		count := 0.0
+		for _, st := range w.states {
+			for d := 0; d < dims; d++ {
+				sum[d] += st.accum[base+d]
 			}
-			count += st.accum[c].Count
+			count += st.accum[countsOff+c]
 		}
 		if count > 0 {
 			for d := 0; d < dims; d++ {
-				final[c][d] = sum[d] / float64(count)
+				final[c][d] = sum[d] / count
 			}
 		}
 	}
 	res := &AsyncResult{Centroids: final, Stats: runStats}
-	for _, st := range states {
+	for _, st := range w.states {
 		if st.oscillated {
 			res.OscillationStop = true
 		}
@@ -265,27 +311,35 @@ func RunAsync(c *cluster.Cluster, points [][]float64, numParts int, cfg Config, 
 	return res, nil
 }
 
-// accumsDiffer reports whether two accumulator sets represent different
-// assignments. Counts and sums are compared exactly: identical
+// flatAccumsDiffer reports whether two flat accumulator sets represent
+// different assignments. Counts and sums are compared exactly: identical
 // membership reproduces identical sums (fixed point order).
-func accumsDiffer(a, b []Accum) bool {
-	for c := range a {
-		if a[c].Count != b[c].Count {
+func flatAccumsDiffer(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
 			return true
-		}
-		for d := range a[c].Sum {
-			if a[c].Sum[d] != b[c].Sum[d] {
-				return true
-			}
 		}
 	}
 	return false
 }
 
-func cloneAccums(as []Accum) []Accum {
-	out := make([]Accum, len(as))
-	for i, a := range as {
-		out[i] = Accum{Sum: append([]float64(nil), a.Sum...), Count: a.Count}
+// nearestFlat is nearest() over a flat K×dims centroid buffer, with the
+// identical squared-distance early exit so assignment ties and float
+// rounding match the nested layout bit for bit.
+func nearestFlat(centroids []float64, dims int, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, base := 0, 0; base < len(centroids); c, base = c+1, base+dims {
+		d := 0.0
+		for i := range p {
+			diff := p[i] - centroids[base+i]
+			d += diff * diff
+			if d >= bestD {
+				break
+			}
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
 	}
-	return out
+	return best
 }

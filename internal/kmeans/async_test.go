@@ -1,6 +1,9 @@
 package kmeans
 
 import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
 	"math"
 	"testing"
 
@@ -139,6 +142,109 @@ func TestAsyncCrashParity(t *testing.T) {
 	run := asyncParityRunner(t)
 	asynctest.CheckCrashParity(t, asynctest.Stalenesses(), nil, run)
 	asynctest.CheckCrashParity(t, []int{2}, recovery.EverySteps(4), run)
+}
+
+// TestAsyncFlatAccumGoldens pins the flat-accumulator adapter bit for
+// bit against goldens recorded from the pre-flat ([]Accum / [][]float64)
+// adapter on the same census and cluster: every RunStats figure —
+// duration and gate-wait time compared by their float64 bit patterns —
+// and an FNV-64a hash over the converged centroids' Float64bits, on
+// both executors. Any arithmetic reordering in Step (fold order, early
+// exit in the nearest-centroid scan, movement max) breaks this test.
+func TestAsyncFlatAccumGoldens(t *testing.T) {
+	pts := smallCensus(t)
+	for _, tc := range []struct {
+		parts, stal  int
+		ex           async.Executor
+		steps, pubs  int64
+		pushedBytes  int64
+		durBits      uint64
+		gateWaits    int64
+		gwtBits      uint64
+		lead         int
+		osc          bool
+		centroidHash uint64
+	}{
+		{9, 0, async.DES, 73, 39, 349440, 0x402a3e7ee8f17643, 33, 0x3fe1b76bc68c0370, 0, false, 0x7287191eccec6f88},
+		{9, 2, async.DES, 113, 55, 492800, 0x402a67264394b74c, 2, 0x3fc4f43024e1be80, 2, false, 0x5b689400ea6b444c},
+		{9, async.Unbounded, async.DES, 115, 56, 501760, 0x402a51017dd9e3ba, 0, 0x0, 4, false, 0x7aeb16aba1a586e9},
+		{13, 4, async.DES, 141, 61, 546560, 0x402a0b9be5313ccb, 0, 0x0, 2, false, 0x2c9cfd98efb7cd76},
+		{9, 2, async.Parallel, 113, 55, 492800, 0x402a67264394b74c, 2, 0x3fc4f43024e1be80, 2, false, 0x5b689400ea6b444c},
+		{13, 4, async.Parallel, 141, 61, 546560, 0x402a0b9be5313ccb, 0, 0x0, 2, false, 0x2c9cfd98efb7cd76},
+	} {
+		t.Run(fmt.Sprintf("parts=%d/S=%d/%s", tc.parts, tc.stal, tc.ex), func(t *testing.T) {
+			res, err := RunAsync(asyncCluster(), pts, tc.parts, DefaultConfig(0.01),
+				async.Options{Staleness: tc.stal, Executor: tc.ex})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats
+			if s.Steps != tc.steps || s.Publishes != tc.pubs || s.PushedBytes != tc.pushedBytes {
+				t.Fatalf("steps/pubs/bytes = %d/%d/%d, want %d/%d/%d",
+					s.Steps, s.Publishes, s.PushedBytes, tc.steps, tc.pubs, tc.pushedBytes)
+			}
+			if bits := math.Float64bits(float64(s.Duration)); bits != tc.durBits {
+				t.Fatalf("duration bits %#x (%v), want %#x", bits, s.Duration, tc.durBits)
+			}
+			if s.GateWaits != tc.gateWaits {
+				t.Fatalf("gate waits %d, want %d", s.GateWaits, tc.gateWaits)
+			}
+			if bits := math.Float64bits(float64(s.GateWaitTime)); bits != tc.gwtBits {
+				t.Fatalf("gate-wait-time bits %#x (%v), want %#x", bits, s.GateWaitTime, tc.gwtBits)
+			}
+			if int(s.MaxLead) != tc.lead {
+				t.Fatalf("max lead %d, want %d", s.MaxLead, tc.lead)
+			}
+			if res.OscillationStop != tc.osc {
+				t.Fatalf("oscillation stop %v, want %v", res.OscillationStop, tc.osc)
+			}
+			h := fnv.New64a()
+			var b [8]byte
+			for _, cen := range res.Centroids {
+				for _, v := range cen {
+					binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+					h.Write(b[:])
+				}
+			}
+			if got := h.Sum64(); got != tc.centroidHash {
+				t.Fatalf("centroid hash %#x, want %#x", got, tc.centroidHash)
+			}
+		})
+	}
+}
+
+// TestAsyncFlatStepAllocFree drives one partition's Step to its local
+// fixed point under constant neighbor snapshots and asserts the
+// steady-state step — fold, movement scan, full assignment pass, change
+// detection — allocates nothing: all scratch is partition-owned and
+// reused, and a step that neither publishes nor extends the oscillation
+// history touches no heap.
+func TestAsyncFlatStepAllocFree(t *testing.T) {
+	pts := smallCensus(t)
+	cfg := DefaultConfig(0.01)
+	w := newAsyncWorkload(pts, 4, cfg, len(pts[0]))
+	inputs := make([]async.Snapshot[[]float64], 0, len(w.Neighbors(0)))
+	for _, q := range w.Neighbors(0) {
+		data, _ := w.Init(q)
+		inputs = append(inputs, async.Snapshot[[]float64]{Part: q, Data: data})
+	}
+	step := 0
+	for ; step < 1000; step++ {
+		out := w.Step(0, step, inputs)
+		if !out.Publish && out.Quiescent {
+			break
+		}
+	}
+	if step == 1000 {
+		t.Fatal("partition 0 did not reach a local fixed point")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		step++
+		w.Step(0, step, inputs)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %v allocs/run, want 0", allocs)
+	}
 }
 
 func TestAsyncValidation(t *testing.T) {

@@ -190,10 +190,12 @@ func Run[P any, K comparable, V any](e *Engine, job *Job[P, K, V], splits []Spli
 	redStats := make([]taskStats, nReduce)
 	err = e.forEachTask(nReduce, func(p int) error {
 		ctx := &TaskContext[K, V]{}
-		keys, groups := groupByKey(parts[p])
-		for _, k := range keys {
-			job.Reduce(ctx, k, groups[k])
+		g := job.getGrouper()
+		g.group(parts[p])
+		for i, k := range g.keys {
+			job.Reduce(ctx, k, g.values(i))
 		}
+		job.putGrouper(g)
 		var outBytes int64
 		for _, kv := range ctx.out {
 			outBytes += job.RecordSize(kv.Key, kv.Value)
@@ -302,32 +304,83 @@ func sortCost(cfg *cluster.Config, n int64) simtime.Duration {
 	return simtime.Duration(float64(n*int64(log2))) * cfg.SortCostPerRecord
 }
 
-// groupByKey groups records by key, preserving first-seen key order so
-// results are deterministic without requiring an ordering on K.
-func groupByKey[K comparable, V any](records []KV[K, V]) ([]K, map[K][]V) {
-	groups := make(map[K][]V, len(records)/2+1)
-	var keys []K
-	for _, kv := range records {
-		vs, ok := groups[kv.Key]
-		if !ok {
-			keys = append(keys, kv.Key)
-		}
-		groups[kv.Key] = append(vs, kv.Value)
+// grouper groups records by key into a reusable CSR-style layout:
+// keys in first-seen order (deterministic without an ordering on K),
+// all values in one slab, offs[i] marking the end of group i. Reusing
+// one grouper across tasks and iterations turns the former
+// fresh-map[K][]V-per-reduce allocation pattern into three amortized
+// slices and a cleared map.
+type grouper[K comparable, V any] struct {
+	keys []K
+	idx  map[K]int32
+	offs []int32
+	slab []V
+}
+
+// group rebuilds the grouping for records. Two passes: the first
+// assigns group ids in first-seen order and counts group sizes, the
+// second scatters values through offs used as moving cursors, leaving
+// offs[i] = end of group i. Value order within a group is record order,
+// matching the old map-based groupByKey exactly.
+func (g *grouper[K, V]) group(records []KV[K, V]) {
+	if g.idx == nil {
+		g.idx = make(map[K]int32, len(records)/2+1)
+	} else {
+		clear(g.idx)
 	}
-	return keys, groups
+	g.keys = g.keys[:0]
+	g.offs = g.offs[:0]
+	for _, kv := range records {
+		gi, ok := g.idx[kv.Key]
+		if !ok {
+			gi = int32(len(g.keys))
+			g.idx[kv.Key] = gi
+			g.keys = append(g.keys, kv.Key)
+			g.offs = append(g.offs, 0)
+		}
+		g.offs[gi]++
+	}
+	var sum int32
+	for i, c := range g.offs {
+		g.offs[i] = sum
+		sum += c
+	}
+	if cap(g.slab) < int(sum) {
+		g.slab = make([]V, sum)
+	} else {
+		g.slab = g.slab[:sum]
+	}
+	for _, kv := range records {
+		gi := g.idx[kv.Key]
+		g.slab[g.offs[gi]] = kv.Value
+		g.offs[gi]++
+	}
+}
+
+// values returns group i's value slice. The slice aliases the grouper's
+// slab: it is valid until the next group call, so callers must not
+// retain it past the current key group.
+func (g *grouper[K, V]) values(i int) []V {
+	lo := int32(0)
+	if i > 0 {
+		lo = g.offs[i-1]
+	}
+	return g.slab[lo:g.offs[i]]
 }
 
 // combineTaskOutput applies the job's combiner to one map task's buffered
 // output in place.
 func combineTaskOutput[P any, K comparable, V any](job *Job[P, K, V], ctx *TaskContext[K, V]) {
-	keys, groups := groupByKey(ctx.out)
+	g := job.getGrouper()
 	out := ctx.out[:0]
-	for _, k := range keys {
-		for _, v := range job.Combine(k, groups[k]) {
+	g.group(ctx.out)
+	for i, k := range g.keys {
+		for _, v := range job.Combine(k, g.values(i)) {
 			out = append(out, KV[K, V]{Key: k, Value: v})
 		}
 	}
 	ctx.out = out
+	job.putGrouper(g)
 }
 
 // forEachTask runs fn(i) for i in [0,n) on a bounded pool of real

@@ -286,12 +286,36 @@ func TestGroupByKeyPreservesFirstSeenOrder(t *testing.T) {
 	records := []KV[string, int]{
 		{"b", 1}, {"a", 2}, {"b", 3}, {"c", 4}, {"a", 5},
 	}
-	keys, groups := groupByKey(records)
-	if len(keys) != 3 || keys[0] != "b" || keys[1] != "a" || keys[2] != "c" {
-		t.Fatalf("key order %v", keys)
+	var g grouper[string, int]
+	g.group(records)
+	if len(g.keys) != 3 || g.keys[0] != "b" || g.keys[1] != "a" || g.keys[2] != "c" {
+		t.Fatalf("key order %v", g.keys)
 	}
-	if got := groups["b"]; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+	if got := g.values(0); len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("group b = %v", got)
+	}
+	if got := g.values(1); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("group a = %v", got)
+	}
+	if got := g.values(2); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("group c = %v", got)
+	}
+}
+
+// The reduce-side grouper must be allocation-free once its slabs are
+// warm: regrouping same-shape input reuses keys/offs/slab and clears the
+// id map in place (PR 7 alloc budget for the modes bench depends on it).
+func TestGrouperSteadyStateAllocFree(t *testing.T) {
+	records := []KV[string, int]{
+		{"b", 1}, {"a", 2}, {"b", 3}, {"c", 4}, {"a", 5},
+	}
+	var g grouper[string, int]
+	g.group(records) // warm the slabs
+	allocs := testing.AllocsPerRun(100, func() {
+		g.group(records)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state grouper allocates %v allocs/run, want 0", allocs)
 	}
 }
 

@@ -16,6 +16,7 @@ package mapreduce
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 )
 
 // KV is one key-value record flowing between phases.
@@ -48,6 +49,8 @@ type Split[P any] struct {
 type MapFunc[P any, K comparable, V any] func(ctx *TaskContext[K, V], split Split[P])
 
 // ReduceFunc consumes one key group and emits final records through ctx.
+// The values slice is engine-owned scratch, valid only for the duration
+// of the call; implementations must copy it to retain it.
 type ReduceFunc[K comparable, V any] func(ctx *TaskContext[K, V], key K, values []V)
 
 // CombineFunc locally folds a key group emitted by a single map task
@@ -86,7 +89,25 @@ type Job[P any, K comparable, V any] struct {
 	// (8-byte key + 8-byte value), which matches the integer-keyed
 	// records of all three paper applications.
 	RecordSize SizeFunc[K, V]
+
+	// groupers pools reduce/combine-side grouping scratch across the
+	// concurrent tasks and successive iterations of this job, so the
+	// hot reduce path reuses slabs instead of building a fresh
+	// map[K][]V per task. Jobs are always used by pointer (the pool
+	// makes Job no-copy; go vet enforces this).
+	groupers sync.Pool
 }
+
+// getGrouper takes a grouper from the job's pool, or makes an empty one.
+func (j *Job[P, K, V]) getGrouper() *grouper[K, V] {
+	if g, ok := j.groupers.Get().(*grouper[K, V]); ok {
+		return g
+	}
+	return &grouper[K, V]{}
+}
+
+// putGrouper returns scratch to the pool for the next task.
+func (j *Job[P, K, V]) putGrouper(g *grouper[K, V]) { j.groupers.Put(g) }
 
 // validate normalizes defaults and reports configuration errors.
 func (j *Job[P, K, V]) validate(reduceSlots int) error {

@@ -34,18 +34,44 @@ import (
 	"repro/internal/mapreduce"
 )
 
-// emitSorted emits an accumulator map in ascending key order. Map
-// iteration order is randomized in Go; sorted emission keeps shuffle
+// pushContributions is the shared global emission of both formulations:
+// every node pushes rank/outdeg to all of its out-links, pre-aggregated
+// per destination within the partition, emitted in ascending key order.
+// Map iteration order is randomized in Go; sorted emission keeps shuffle
 // grouping — and therefore floating-point summation order — identical
-// across runs, which keeps iteration counts bit-reproducible.
-func emitSorted(emit func(int64, float64), acc map[int64]float64) {
-	keys := make([]int64, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
+// across runs, which keeps iteration counts bit-reproducible. The
+// accumulator map and sort buffer live on the state so successive
+// iterations reuse them (one task owns a state at a time).
+func pushContributions(tc *mapreduce.TaskContext[int64, float64], st *state) {
+	sub := st.sub
+	if st.acc == nil {
+		st.acc = make(map[int64]float64, len(sub.Nodes))
+	} else {
+		clear(st.acc)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		emit(k, acc[k])
+	var ops int64
+	for li := range sub.Nodes {
+		deg := sub.OutDeg[li]
+		if deg == 0 {
+			continue
+		}
+		c := st.rank[li] / float64(deg)
+		for _, dst := range sub.OutLocal[li] {
+			st.acc[int64(sub.Nodes[dst])] += c
+		}
+		for _, dst := range sub.OutRemote[li] {
+			st.acc[int64(dst)] += c
+		}
+		ops += int64(deg)
+	}
+	tc.Charge(ops)
+	st.accKeys = st.accKeys[:0]
+	for k := range st.acc {
+		st.accKeys = append(st.accKeys, k)
+	}
+	sort.Slice(st.accKeys, func(i, j int) bool { return st.accKeys[i] < st.accKeys[j] })
+	for _, k := range st.accKeys {
+		tc.Emit(k, st.acc[k])
 	}
 }
 
@@ -100,6 +126,12 @@ type state struct {
 	localDelta float64
 	// scratch receives new ranks during Apply.
 	scratch []float64
+	// acc/accKeys are pushContributions' reusable emission scratch;
+	// elems caches the (constant) lmap element list. One task owns a
+	// state at a time, so unsynchronized reuse is safe.
+	acc     map[int64]float64
+	accKeys []int64
+	elems   []int32
 }
 
 // Result of a PageRank run.
@@ -158,6 +190,7 @@ func Run(engine *mapreduce.Engine, subs []*graph.SubGraph, cfg Config, eager boo
 	}
 
 	job := buildJob(cfg, eager)
+	next := make([]float64, n) // Update scratch, reused every iteration
 	driver := &core.Driver[*state, int64, float64]{
 		Engine:        engine,
 		Job:           job,
@@ -167,7 +200,6 @@ func Run(engine *mapreduce.Engine, subs []*graph.SubGraph, cfg Config, eager boo
 			// received contributions; nodes with no in-edges settle at
 			// (1 - damping).
 			base := 1 - cfg.Damping
-			next := make([]float64, n)
 			for i := range next {
 				next[i] = base
 			}
@@ -261,41 +293,22 @@ func buildJob(cfg Config, eager bool) *mapreduce.Job[*state, int64, float64] {
 // paper uses because it is "on par or better than the adjacency-list
 // formulation").
 func generalMap(ctx *mapreduce.TaskContext[int64, float64], split mapreduce.Split[*state]) {
-	st := split.Data
-	sub := st.sub
-	// Aggregate contributions per local destination; remote destinations
-	// emit directly.
-	acc := make(map[int64]float64, len(sub.Nodes))
-	var ops int64
-	for li := range sub.Nodes {
-		deg := sub.OutDeg[li]
-		if deg == 0 {
-			continue
-		}
-		c := st.rank[li] / float64(deg)
-		for _, dst := range sub.OutLocal[li] {
-			acc[int64(sub.Nodes[dst])] += c
-		}
-		for _, dst := range sub.OutRemote[li] {
-			acc[int64(dst)] += c
-		}
-		ops += int64(deg)
-	}
-	ctx.Charge(ops)
-	emitSorted(ctx.Emit, acc)
+	pushContributions(ctx, split.Data)
 }
 
 // eagerSpec wires the paper's lmap/lreduce for PageRank into the partial
 // synchronization runtime.
 func eagerSpec(cfg Config) *core.LocalSpec[*state, int32, int64, float64] {
 	return &core.LocalSpec[*state, int32, int64, float64]{
-		// xs: the partition's local node indices.
+		// xs: the partition's local node indices (constant, built once).
 		Elements: func(st *state) []int32 {
-			elems := make([]int32, len(st.sub.Nodes))
-			for i := range elems {
-				elems[i] = int32(i)
+			if st.elems == nil {
+				st.elems = make([]int32, len(st.sub.Nodes))
+				for i := range st.elems {
+					st.elems[i] = int32(i)
+				}
 			}
-			return elems
+			return st.elems
 		},
 		// lmap: push rank along partition-internal edges only;
 		// cross-partition neighbors wait for the global synchronization.
@@ -353,25 +366,7 @@ func eagerSpec(cfg Config) *core.LocalSpec[*state, int32, int64, float64] {
 		// rank to all out-links — internal and cross — aggregated per
 		// destination; greduce recomputes every rank globally.
 		Output: func(tc *mapreduce.TaskContext[int64, float64], st *state, _ *core.LocalContext[int64, float64]) {
-			sub := st.sub
-			acc := make(map[int64]float64, len(sub.Nodes))
-			var ops int64
-			for li := range sub.Nodes {
-				deg := sub.OutDeg[li]
-				if deg == 0 {
-					continue
-				}
-				c := st.rank[li] / float64(deg)
-				for _, dst := range sub.OutLocal[li] {
-					acc[int64(sub.Nodes[dst])] += c
-				}
-				for _, dst := range sub.OutRemote[li] {
-					acc[int64(dst)] += c
-				}
-				ops += int64(deg)
-			}
-			tc.Charge(ops)
-			emitSorted(tc.Emit, acc)
+			pushContributions(tc, st)
 		},
 		Threads: cfg.Threads,
 	}

@@ -25,15 +25,33 @@
 #      per-decision allocation. Threshold 2500, same as the crash-free
 #      path it rides on.
 #
+#   4. The K-Means speculated path
+#      (BenchmarkAsyncParallel/kmeans/parallel): after PR 7's flat
+#      accumulator buffers it sits around 0.9K allocs/op (BENCH_PR7.json
+#      records the pre-change ~8.3K). Threshold 2500, the ROADMAP
+#      target.
+#
+#   5. The CC speculated path (BenchmarkAsyncParallel/cc/parallel):
+#      around 1.7K allocs/op once the reverse adjacency is CSR and
+#      publishes are arena-carved (~240K before PR 7). Threshold 2500.
+#
+#   6. The three-mode comparison bench (BenchmarkAsyncModesPageRank),
+#      whose general/eager legs run the legacy MapReduce engines: around
+#      0.9M allocs/op with the engine-owned grouping scratch of PR 7
+#      (14.7M before). Threshold 3000000, the ROADMAP's >=5x cut.
+#
 # Runs are deterministic, so allocs/op is stable across machines; the
 # thresholds leave headroom for runtime/GC bookkeeping noise.
 #
-# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs] [max_adaptive_allocs]
+# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs] [max_adaptive_allocs] [max_kmeans_allocs] [max_cc_allocs] [max_modes_allocs]
 set -eu
 
 max=${1:-2500}
 max_recovery=${2:-3500}
 max_adaptive=${3:-2500}
+max_kmeans=${4:-2500}
+max_cc=${5:-2500}
+max_modes=${6:-3000000}
 cd "$(dirname "$0")/.."
 
 check() {
@@ -58,3 +76,6 @@ check() {
 check 'BenchmarkAsyncParallel/pagerank/parallel' "$max"
 check 'BenchmarkAsyncRecovery/mttf=1s' "$max_recovery"
 check 'BenchmarkAsyncAdaptive/aimd' "$max_adaptive"
+check 'BenchmarkAsyncParallel/kmeans/parallel' "$max_kmeans"
+check 'BenchmarkAsyncParallel/cc/parallel' "$max_cc"
+check 'BenchmarkAsyncModesPageRank' "$max_modes"
