@@ -579,6 +579,53 @@ func BenchmarkAsyncParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncLive measures the live executor: real partition compute
+// on the work-stealing pool, costs from monotonic wall-clock deltas
+// (run with -cpu 1,4 to see the GOMAXPROCS effect). The emulated
+// publish-visibility delay is scaled down so ns/op tracks engine
+// overhead — dispatch, gating, the measured-cost bookkeeping — rather
+// than deliberately-injected latency sleeps; the headline latency-hiding
+// speedup at full model latency is the harness livescaling figure.
+// Lockstep (S=0) stresses the gate/park/wake machinery, free-running
+// (S=inf) the steal-heavy dispatch path. Run with -benchmem to track the
+// live step path's allocations (scripts/alloc_guard.sh enforces the
+// budget in CI).
+func BenchmarkAsyncLive(b *testing.B) {
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(benchScale))
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := *cluster.EC2LargeCluster()
+	cfg.LiveNetScale = 0.02
+	for _, s := range []int{0, async.Unbounded} {
+		name := "pagerank/S=0"
+		if s == async.Unbounded {
+			name = "pagerank/S=inf"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pagerank.RunAsync(cluster.New(&cfg), subs, pagerank.DefaultConfig(),
+					async.Options{Staleness: s, Executor: async.Live, Workers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Stats.Converged {
+					b.Fatal("live run did not converge")
+				}
+				b.ReportMetric(res.Stats.Duration.Seconds()*1e3, "measured-ms")
+				b.ReportMetric(res.Stats.LiveComputeTime.Seconds()*1e3, "compute-ms")
+				b.ReportMetric(float64(res.Stats.LiveSteals), "steals")
+				b.ReportMetric(res.Stats.MeanSteps, "steps-mean")
+			}
+		})
+	}
+}
+
 // BenchmarkAsyncAdaptive measures the adaptive staleness-control
 // subsystem (internal/adapt) on async PageRank over the cross-rack
 // cluster — the setting where gate waits are material: the static

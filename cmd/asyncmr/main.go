@@ -34,6 +34,11 @@
 //	parallelhpc        the same figure on the HPC preset, whose tiny
 //	                   publish floor is the hard case for the executor's
 //	                   dependency-aware admission
+//	livescaling        live-executor figure: async PageRank computed for
+//	                   real on the work-stealing pool at 1/2/4 workers,
+//	                   measured wall-clock speedup of free-running (S=inf)
+//	                   over lockstep (S=0), each run checked against the
+//	                   DES oracle's converged ranks
 //	recovery           checkpoint-interval-vs-MTTF sweep of the worker-
 //	                   crash fault model (internal/recovery): time to
 //	                   converge across checkpoint cadences under several
@@ -42,7 +47,11 @@
 //	run                run PageRank, SSSP, connected components and
 //	                   K-Means end to end in the mode selected by
 //	                   -mode/-staleness (cc is async-only: label
-//	                   propagation has no MapReduce formulation here)
+//	                   propagation has no MapReduce formulation here).
+//	                   -mode live runs them on the live executor: real
+//	                   partition compute on the work-stealing pool, with
+//	                   measured wall-clock durations instead of the cost
+//	                   model's virtual time
 //	all                everything above except run
 //
 // -staleness takes a fixed bound ("4"; "inf" or any negative value =
@@ -92,7 +101,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 8, "workload scale divisor; 1 = paper-size inputs")
 	verbose := flag.Bool("v", false, "print per-run progress")
-	mode := flag.String("mode", "general", "scheduling mode for 'run': general, eager or async")
+	mode := flag.String("mode", "general", "scheduling mode for 'run': general, eager, async or live")
 	staleness := flag.String("staleness", strconv.Itoa(harness.DefaultStaleness),
 		"staleness for async mode: a fixed bound S (negative or inf = unbounded), or adaptive:aimd[:START[:MAX[:STALL]]] / adaptive:drift[:CAP] for per-worker adaptive control")
 	parallel := flag.Bool("parallel", false,
@@ -107,7 +116,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-mttf T] [-ckpt P] [-cpuprofile F] [-memprofile F] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue adaptive adaptiveclue parallel parallelhpc recovery run all\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue adaptive adaptiveclue parallel parallelhpc livescaling recovery run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -278,6 +287,12 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		f.Render(out)
+	case "livescaling":
+		f, err := s.FigureLiveScaling()
+		if err != nil {
+			return err
+		}
+		f.Render(out)
 	case "recovery":
 		f, err := s.FigureRecoverySweep()
 		if err != nil {
@@ -366,6 +381,11 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		fph.Render(out)
+		fl, err := s.FigureLiveScaling()
+		if err != nil {
+			return err
+		}
+		fl.Render(out)
 		fr, err := s.FigureRecoverySweep()
 		if err != nil {
 			return err

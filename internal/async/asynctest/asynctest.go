@@ -52,8 +52,10 @@ func Stalenesses() []int { return []int{0, 2, async.Unbounded} }
 // RunStats is parity-checked by default and an exemption must be
 // declared here (and is itself pinned by the field-drift test).
 var ExecutorSpecificStats = map[string]bool{
-	"Speculated": true,
-	"SpecDepth":  true,
+	"Speculated":      true,
+	"SpecDepth":       true,
+	"LiveComputeTime": true,
+	"LiveSteals":      true,
 }
 
 // StatsEqual fails the test unless every virtual-time field of the two
@@ -126,6 +128,59 @@ func CheckCrashParity(t *testing.T, stalenesses []int, pol recovery.Policy, run 
 			if !reflect.DeepEqual(desState, parState) {
 				t.Fatalf("%s: converged state diverged between executors", label)
 			}
+		}
+	}
+}
+
+// LiveNetScaleForTests is the emulated publish-visibility scale the
+// live-vs-DES checks run at: small enough that the real-time sleeps it
+// induces keep test runs fast, large enough that visibility ordering is
+// still exercised (a 5.6 ms EC2 push becomes ~110 µs of real delay).
+const LiveNetScaleForTests = 0.02
+
+// CheckLiveMatchesDES runs the workload under the DES oracle and the
+// live (measured-cost) executor across the staleness axis and checks
+// convergence agreement. The live executor is not deterministic, so
+// this is parity-by-tolerance, not bit parity: dist maps the two
+// converged fingerprints to a scalar divergence compared against tol.
+// A nil dist demands exact equality (reflect.DeepEqual) — correct for
+// monotone workloads (CC min-labels, SSSP distances) whose fixed point
+// is independent of update order; contractive workloads (PageRank,
+// K-Means) pass a drift metric and a tolerance. Live-specific
+// invariants are asserted alongside: the run converges whenever DES
+// does, executes at least one step per partition, and never observes a
+// staleness lead beyond the bound.
+func CheckLiveMatchesDES(t *testing.T, stalenesses []int, tol float64, dist func(des, live any) float64, run Runner) {
+	t.Helper()
+	cfg := *cluster.EC2LargeCluster()
+	cfg.LiveNetScale = LiveNetScaleForTests
+	for _, s := range stalenesses {
+		opt := async.Options{Staleness: s}
+		opt.Executor = async.DES
+		desStats, desState := run(t, &cfg, opt)
+		opt.Executor = async.Live
+		liveStats, liveState := run(t, &cfg, opt)
+		label := parityLabel(&cfg, s) + "/live"
+		if desStats.Converged && !liveStats.Converged {
+			t.Fatalf("%s: DES converged but live did not\nDES:  %+v\nLive: %+v", label, desStats, liveStats)
+		}
+		if min := int64(len(liveStats.PerWorkerSteps)); liveStats.Steps < min {
+			t.Fatalf("%s: live executed %d steps, want >= %d (one per partition)", label, liveStats.Steps, min)
+		}
+		if s >= 0 && liveStats.MaxLead > s {
+			t.Fatalf("%s: live MaxLead %d exceeds staleness bound %d", label, liveStats.MaxLead, s)
+		}
+		if liveStats.Duration <= 0 || liveStats.LiveComputeTime <= 0 {
+			t.Fatalf("%s: live measured nothing: duration %v, compute %v", label, liveStats.Duration, liveStats.LiveComputeTime)
+		}
+		if dist == nil {
+			if !reflect.DeepEqual(desState, liveState) {
+				t.Fatalf("%s: converged state diverged from the DES oracle (exact parity expected)", label)
+			}
+			continue
+		}
+		if d := dist(desState, liveState); d > tol {
+			t.Fatalf("%s: converged state drifted %g from the DES oracle, tolerance %g", label, d, tol)
 		}
 	}
 }

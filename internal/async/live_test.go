@@ -1,0 +1,184 @@
+package async
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/cluster"
+	"repro/internal/recovery"
+)
+
+// liveCluster is quietCluster with the emulated publish-visibility
+// delay scaled down so real-time waits stay test-sized.
+func liveCluster() *cluster.Cluster {
+	cfg := cluster.EC2LargeCluster()
+	cfg.FailureProb = 0
+	cfg.StragglerJitter = 0
+	cfg.LiveNetScale = 0.02
+	return cluster.New(cfg)
+}
+
+func TestLiveExecutorString(t *testing.T) {
+	if got := Live.String(); got != "live" {
+		t.Fatalf("Live.String() = %q", got)
+	}
+}
+
+// TestLiveMaxPropagation: the wake-on-publish cascade must carry the
+// global max to every partition on the real pool, at every staleness.
+func TestLiveMaxPropagation(t *testing.T) {
+	for _, s := range []int{0, 2, Unbounded} {
+		for _, workers := range []int{1, 4} {
+			vals := []int64{3, 9, 1, 7, 2, 8, 4, 6}
+			c := liveCluster()
+			stats, err := Run(c, maxProp(vals), Options{Staleness: s, Executor: Live, Workers: workers})
+			if err != nil {
+				t.Fatalf("S=%d w=%d: %v", s, workers, err)
+			}
+			if !stats.Converged {
+				t.Fatalf("S=%d w=%d: not converged", s, workers)
+			}
+			for p, v := range vals {
+				if v != 9 {
+					t.Fatalf("S=%d w=%d: partition %d settled at %d, want 9", s, workers, p, v)
+				}
+			}
+			if stats.Steps < int64(len(vals)) || stats.Publishes == 0 || stats.Duration <= 0 {
+				t.Fatalf("S=%d w=%d: implausible stats %+v", s, workers, stats)
+			}
+			m := c.Metrics()
+			if m.AsyncLiveSteps != stats.Steps {
+				t.Fatalf("S=%d w=%d: metrics AsyncLiveSteps %d != run steps %d", s, workers, m.AsyncLiveSteps, stats.Steps)
+			}
+			if got := c.Now(); got != stats.Duration {
+				t.Fatalf("S=%d w=%d: cluster clock %v != measured duration %v", s, workers, got, stats.Duration)
+			}
+		}
+	}
+}
+
+// TestLiveStalenessBoundEnforced: the gate must hold MaxLead <= S on
+// the real pool, where leads arise from genuine scheduling skew rather
+// than modeled cost skew. A real per-step delay on one partition makes
+// the others run ahead.
+func TestLiveStalenessBoundEnforced(t *testing.T) {
+	slowStep := func(base *toy) *toy {
+		inner := base.step
+		base.step = func(p, step int, inputs []Snapshot[int64]) StepOutcome[int64] {
+			if p == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+			return inner(p, step, inputs)
+		}
+		return base
+	}
+	for _, s := range []int{0, 1, 3} {
+		stats, err := Run(liveCluster(), slowStep(counter(4, 30, func(int) int64 { return 10 })),
+			Options{Staleness: s, Executor: Live, Workers: 4})
+		if err != nil {
+			t.Fatalf("S=%d: %v", s, err)
+		}
+		if !stats.Converged {
+			t.Fatalf("S=%d: not converged", s)
+		}
+		if stats.MaxLead > s {
+			t.Fatalf("S=%d: MaxLead %d exceeds bound", s, stats.MaxLead)
+		}
+		if s == 0 && stats.GateWaits == 0 {
+			t.Fatalf("S=0: lockstep with a slow partition booked no gate waits")
+		}
+		if stats.GateWaits > 0 && stats.GateWaitTime <= 0 {
+			t.Fatalf("S=%d: %d gate waits measured no wait time", s, stats.GateWaits)
+		}
+	}
+}
+
+// TestLiveAdaptivePolicy: the shared adapt.Controller must work behind
+// the live engine's mutex; the aimd policy should move the bound at
+// least once on a gate-heavy run.
+func TestLiveAdaptivePolicy(t *testing.T) {
+	pol, err := adapt.AIMD(0, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(liveCluster(), counter(4, 40, func(int) int64 { return 10 }),
+		Options{Executor: Live, Workers: 2, Adapt: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("not converged")
+	}
+	if stats.AdaptRaises+stats.AdaptCuts == 0 {
+		t.Fatalf("controller never moved the bound: %+v", stats)
+	}
+	if stats.StalenessMax > 8 {
+		t.Fatalf("bound exceeded the policy cap: %d", stats.StalenessMax)
+	}
+}
+
+// TestLiveForcedStop: a workload that never quiesces must be cut off at
+// MaxSteps per partition and reported unconverged, without hanging.
+func TestLiveForcedStop(t *testing.T) {
+	n := 4
+	w := &toy{
+		parts:     n,
+		neighbors: ring(n),
+		init:      func(p int) (int64, int64) { return 0, 8 },
+		step: func(p, step int, inputs []Snapshot[int64]) StepOutcome[int64] {
+			return StepOutcome[int64]{Publish: true, Data: int64(step), Bytes: 8, Ops: 1, Quiescent: false}
+		},
+	}
+	stats, err := Run(liveCluster(), w, Options{Staleness: Unbounded, Executor: Live, MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Converged {
+		t.Fatal("forced run reported converged")
+	}
+	for p, steps := range stats.PerWorkerSteps {
+		if steps != 5 {
+			t.Fatalf("partition %d ran %d steps, want the 5-step cap", p, steps)
+		}
+	}
+}
+
+// TestLiveStepErrorPropagates: a panicking workload step must surface
+// as a run error, and the engine must still shut down cleanly.
+func TestLiveStepErrorPropagates(t *testing.T) {
+	n := 4
+	w := &toy{
+		parts:     n,
+		neighbors: ring(n),
+		init:      func(p int) (int64, int64) { return 0, 8 },
+		step: func(p, step int, inputs []Snapshot[int64]) StepOutcome[int64] {
+			if p == 2 && step == 3 {
+				panic("boom")
+			}
+			return StepOutcome[int64]{Publish: true, Data: int64(step), Bytes: 8, Ops: 1, Quiescent: false}
+		},
+	}
+	_, err := Run(liveCluster(), w, Options{Staleness: Unbounded, Executor: Live})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("want step panic surfaced as error, got %v", err)
+	}
+}
+
+// TestLiveRejectsCrashModel: crash schedules and checkpoint pricing are
+// virtual-time machinery; requesting them with the live executor is a
+// configuration error, not a silent no-op.
+func TestLiveRejectsCrashModel(t *testing.T) {
+	cfg := cluster.EC2LargeCluster()
+	cfg.CrashMTTF = 2 * 1e0
+	vals := []int64{1, 2}
+	_, err := Run(cluster.New(cfg), maxProp(vals), Options{Executor: Live})
+	if err == nil || !strings.Contains(err.Error(), "crash fault model") {
+		t.Fatalf("want crash-model rejection, got %v", err)
+	}
+	_, err = Run(liveCluster(), maxProp(vals), Options{Executor: Live, Checkpoint: recovery.EverySteps(4)})
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("want checkpoint-policy rejection, got %v", err)
+	}
+}

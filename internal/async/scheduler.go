@@ -69,6 +69,13 @@ const (
 	// (dependency-aware admission), keeping virtual-time results identical
 	// to DES while wall-clock work overlaps across cores.
 	Parallel
+	// Live runs the actual partition compute on a work-stealing goroutine
+	// pool with costs *measured* by wall clock instead of drawn from the
+	// cluster model (publish visibility keeps the modeled network delay,
+	// in real time — see live.go). Not deterministic: DES is its
+	// correctness oracle, exact for monotone workloads and
+	// tolerance-bounded otherwise (asynctest.CheckLiveMatchesDES).
+	Live
 )
 
 func (e Executor) String() string {
@@ -77,6 +84,8 @@ func (e Executor) String() string {
 		return "des"
 	case Parallel:
 		return "parallel"
+	case Live:
+		return "live"
 	default:
 		return fmt.Sprintf("executor(%d)", int(e))
 	}
@@ -92,7 +101,7 @@ type Options struct {
 	MaxSteps int
 	// Executor selects the execution strategy (default DES).
 	Executor Executor
-	// Workers caps the parallel executor's goroutine pool (0 =
+	// Workers caps the parallel and live executors' goroutine pools (0 =
 	// GOMAXPROCS). The DES executor ignores it.
 	Workers int
 	// Checkpoint is the worker checkpoint policy of the crash fault
@@ -267,6 +276,17 @@ type RunStats struct {
 	// both happen on the scheduling goroutine in event order), and
 	// independent of the pool size. Always 0 under DES.
 	SpecDepth int
+	// LiveComputeTime is the summed measured wall-clock time pool workers
+	// spent inside Workload.Step under the live executor (always 0 under
+	// DES and parallel). Against Duration — the measured makespan — it
+	// bounds the run's effective compute overlap. Under the live executor
+	// GateWaitTime, Duration, and the store timestamps are likewise
+	// measured real time, not virtual time.
+	LiveComputeTime simtime.Duration
+	// LiveSteals counts run-queue items executed by a pool worker other
+	// than the one they were queued on — the live executor's
+	// work-stealing migrations (always 0 under DES and parallel).
+	LiveSteals int64
 }
 
 // Scheduler is the mode-agnostic scheduling contract of the asynchronous
@@ -344,6 +364,12 @@ func Run[D any](c *cluster.Cluster, w Workload[D], opt Options) (*RunStats, erro
 //
 //async:sched-root
 func NewScheduler[D any](c *cluster.Cluster, w Workload[D], opt Options) (Scheduler[D], error) {
+	if opt.Executor == Live {
+		// The live executor measures costs instead of drawing them and
+		// owns its own concurrent bookkeeping; it shares the store, gate
+		// semantics, and controllers but not the virtual-time core.
+		return newLiveScheduler(c, w, opt)
+	}
 	k, err := newCore(c, w, opt)
 	if err != nil {
 		return nil, err

@@ -239,3 +239,11 @@ func TestReferenceLabelsAreComponentMinima(t *testing.T) {
 		}
 	}
 }
+
+// TestAsyncLiveMatchesDES: the live (measured-cost) executor must reach
+// the DES oracle's component labels exactly — min-label propagation is
+// monotone, so the fixed point is independent of update order and
+// interleaving (shared harness: asynctest).
+func TestAsyncLiveMatchesDES(t *testing.T) {
+	asynctest.CheckLiveMatchesDES(t, asynctest.Stalenesses(), 0, nil, asyncParityRunner(t))
+}

@@ -65,6 +65,13 @@ type Metrics struct {
 	// raises and cuts across all async runs.
 	AsyncAdaptRaises int64
 	AsyncAdaptCuts   int64
+
+	// Live (measured-cost) executor counters: steps executed on the real
+	// work-stealing pool and the pool's work-stealing migrations. Live
+	// steps also count into AsyncSteps; these break out the measured
+	// share.
+	AsyncLiveSteps  int64
+	AsyncLiveSteals int64
 }
 
 // New constructs a cluster from cfg. The configuration is validated; an
@@ -122,6 +129,8 @@ func (c *Cluster) Metrics() MetricsSnapshot {
 		AsyncCheckpoints: c.metrics.AsyncCheckpoints,
 		AsyncAdaptRaises: c.metrics.AsyncAdaptRaises,
 		AsyncAdaptCuts:   c.metrics.AsyncAdaptCuts,
+		AsyncLiveSteps:   c.metrics.AsyncLiveSteps,
+		AsyncLiveSteals:  c.metrics.AsyncLiveSteals,
 	}
 }
 
@@ -147,6 +156,8 @@ type MetricsSnapshot struct {
 	AsyncCheckpoints int64
 	AsyncAdaptRaises int64
 	AsyncAdaptCuts   int64
+	AsyncLiveSteps   int64
+	AsyncLiveSteals  int64
 }
 
 func (m MetricsSnapshot) String() string {

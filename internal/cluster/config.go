@@ -124,6 +124,15 @@ type Config struct {
 	// checkpoint from the DFS and replays the lost steps.
 	RestoreCost simtime.Duration
 
+	// LiveNetScale scales the emulated publish-visibility delay of the
+	// async live executor (internal/async live.go), the one cluster-model
+	// quantity that mode keeps — in real time: a publication becomes
+	// visible LiveNetScale × AsyncPushCost(bytes) of wall clock after it
+	// is made. 1 replays the modeled network at full scale, 0 disables
+	// the emulation (pure measured compute). The virtual-time executors
+	// (DES, parallel) never read it.
+	LiveNetScale float64
+
 	// Seed drives all stochastic elements of the simulation (failure
 	// draws, straggler jitter).
 	Seed uint64
@@ -165,6 +174,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("cluster: CheckpointCost must be non-negative, got %v", c.CheckpointCost)
 	case c.RestoreCost < 0:
 		return fmt.Errorf("cluster: RestoreCost must be non-negative, got %v", c.RestoreCost)
+	case c.LiveNetScale < 0:
+		return fmt.Errorf("cluster: LiveNetScale must be non-negative, got %g", c.LiveNetScale)
 	}
 	return nil
 }
@@ -211,6 +222,7 @@ func EC2LargeCluster() *Config {
 		CrashMTTF:          0, // worker crashes off by default; experiments opt in
 		CheckpointCost:     250 * simtime.Millisecond,
 		RestoreCost:        3 * simtime.Second,
+		LiveNetScale:       1,
 		Seed:               1,
 		StragglerJitter:    0.08,
 	}

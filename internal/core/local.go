@@ -2,10 +2,22 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/mapreduce"
+	"repro/internal/workpool"
 )
+
+// lmapPool is the process-wide thread pool backing every threaded lmap
+// phase, shared with nothing else: work-stealing keeps uneven chunks
+// from idling workers, and one fixed pool bounds the process at
+// GOMAXPROCS lmap threads no matter how many gmap tasks run
+// concurrently, instead of spawning Threads goroutines per task per
+// local iteration. Built lazily on the first threaded phase.
+var lmapPool = sync.OnceValue(func() *workpool.Pool[func()] {
+	return workpool.New(runtime.GOMAXPROCS(0), func(_ int, fn func()) { fn() })
+})
 
 // LocalContext is the emission interface available to lmap and lreduce
 // inside one gmap task. It owns the paper's per-task hashtable: lmap
@@ -271,8 +283,8 @@ func discountOps(ops int64, threads int) int64 {
 	return int64(float64(ops) / eff)
 }
 
-// runLMapPhase applies LMap to every element, on one goroutine or on a
-// sharded thread pool with deterministic merge order.
+// runLMapPhase applies LMap to every element, on one goroutine or on
+// the shared lmap thread pool with deterministic merge order.
 func runLMapPhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V], lc *LocalContext[K, V], part P, elems []E) {
 	lc.clearIntermediate()
 	if spec.Threads <= 1 || len(elems) < 2*spec.Threads {
@@ -281,13 +293,14 @@ func runLMapPhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V]
 		}
 		return
 	}
-	// Shard elements into contiguous chunks; each worker emits into a
-	// private child context; merge in chunk order for determinism. The
-	// hashtable (read-only during lmap) is shared via the parent. Shard
-	// contexts are cached on the parent so their buckets, like the
-	// parent's, keep capacity across local iterations.
-	// Worker panics are captured and re-raised on the task goroutine so
-	// the engine's per-task recovery still catches bad user code.
+	// Shard elements into contiguous chunks; each chunk runs on the
+	// shared pool and emits into a private child context; merge in chunk
+	// order for determinism. The hashtable (read-only during lmap) is
+	// shared via the parent. Shard contexts are cached on the parent so
+	// their buckets, like the parent's, keep capacity across local
+	// iterations. Chunk panics are captured and re-raised on the task
+	// goroutine so the engine's per-task recovery still catches bad user
+	// code (the pool itself must never see a panic).
 	n := spec.Threads
 	for len(lc.shards) < n {
 		lc.shards = append(lc.shards, &LocalContext[K, V]{
@@ -304,10 +317,11 @@ func runLMapPhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V]
 	for w := 0; w < n; w++ {
 		lo := w * len(elems) / n
 		hi := (w + 1) * len(elems) / n
-		shard := shards[w]
-		shard.clearIntermediate()
-		shard.ops = 0 // merged into the parent at the end of each phase
-		go func(w int, chunk []E, sh *LocalContext[K, V]) {
+		chunk := elems[lo:hi]
+		sh := shards[w]
+		sh.clearIntermediate()
+		sh.ops = 0 // merged into the parent at the end of each phase
+		lmapPool().Submit(func() {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -317,7 +331,7 @@ func runLMapPhase[P any, E any, K comparable, V any](spec *LocalSpec[P, E, K, V]
 			for _, e := range chunk {
 				spec.LMap(sh, part, e)
 			}
-		}(w, elems[lo:hi], shard)
+		})
 	}
 	wg.Wait()
 	for _, r := range panics {

@@ -378,14 +378,18 @@ type WorkloadRow struct {
 // RunWorkloads executes PageRank (Graph A), SSSP (Graph A) and K-Means
 // end to end in the chosen scheduling mode — the common
 // iterate-until-converged entry the CLI's -mode flag drives. mode is
-// "general", "eager" or "async"; staleness applies to async only, and
-// the async executor comes from the suite (Suite.AsyncExecutor). In
-// async mode the sweep also runs connected components (internal/cc),
-// which exists only on the asynchronous runtime — label propagation has
-// no MapReduce formulation here, so general/eager sweeps skip it.
+// "general", "eager", "async" or "live"; staleness applies to the async
+// runtime only, and the async executor comes from the suite
+// (Suite.AsyncExecutor) — except in live mode, which forces the live
+// executor: partition compute runs for real on the work-stealing pool
+// and the reported sim-seconds are measured wall-clock, not the cost
+// model. In async and live modes the sweep also runs connected
+// components (internal/cc), which exists only on the asynchronous
+// runtime — label propagation has no MapReduce formulation here, so
+// general/eager sweeps skip it.
 func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) {
-	if mode != "general" && mode != "eager" && mode != "async" {
-		return nil, fmt.Errorf("harness: unknown mode %q (want general, eager or async)", mode)
+	if mode != "general" && mode != "eager" && mode != "async" && mode != "live" {
+		return nil, fmt.Errorf("harness: unknown mode %q (want general, eager, async or live)", mode)
 	}
 	ks := s.PartitionCounts()
 	k := ks[len(ks)/2]
@@ -395,10 +399,13 @@ func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) 
 		return nil, err
 	}
 	opt := s.asyncOptions(staleness)
+	if mode == "live" {
+		opt.Executor = async.Live
+	}
 	var rows []WorkloadRow
 
 	switch mode {
-	case "async":
+	case "async", "live":
 		pr, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
 		if err != nil {
 			return nil, err
@@ -457,7 +464,7 @@ func RenderWorkloadRows(w io.Writer, rows []WorkloadRow, staleness string) {
 		return
 	}
 	title := fmt.Sprintf("End-to-end workloads, mode=%s", rows[0].Mode)
-	if rows[0].Mode == "async" {
+	if rows[0].Mode == "async" || rows[0].Mode == "live" {
 		title += fmt.Sprintf(" (staleness=%s)", staleness)
 	}
 	fmt.Fprintln(w, title)

@@ -302,6 +302,30 @@ func TestFigureParallelScaling(t *testing.T) {
 	}
 }
 
+// TestFigureLiveScaling: the live-executor figure runs, covers the
+// worker axis, and (by construction) checks every live run's converged
+// ranks against the DES oracle. The speedup magnitude is a property of
+// the hardware this runs on, so only positivity is pinned here; the
+// recorded sweep lives in EXPERIMENTS.md.
+func TestFigureLiveScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	f, err := s.FigureLiveScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 || len(f.Series[0].Y) != len(LiveWorkerCounts) {
+		t.Fatalf("bad live scaling figure shape: %+v", f.Series)
+	}
+	for i, sp := range f.Series[0].Y {
+		if sp <= 0 {
+			t.Fatalf("non-positive speedup at %d: %v", i, f.Series[0].Y)
+		}
+	}
+}
+
 // TestFigureParallelScalingHPC: the HPC variant must keep the
 // speculation series near the EC2 figure's level — the dependency-aware
 // admission claim: a microsecond publish floor no longer collapses the
@@ -429,15 +453,15 @@ func TestRunWorkloads(t *testing.T) {
 		t.Skip("experiment sweep")
 	}
 	s := testSuite()
-	for _, mode := range []string{"general", "eager", "async"} {
+	for _, mode := range []string{"general", "eager", "async", "live"} {
 		rows, err := s.RunWorkloads(mode, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 		// Connected components exists only on the async runtime, so the
-		// async sweep carries one extra row.
+		// async and live sweeps carry one extra row.
 		want := 3
-		if mode == "async" {
+		if mode == "async" || mode == "live" {
 			want = 4
 		}
 		if len(rows) != want {

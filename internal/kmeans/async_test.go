@@ -261,3 +261,25 @@ func TestAsyncValidation(t *testing.T) {
 		t.Fatal("K=0 accepted")
 	}
 }
+
+// TestAsyncLiveMatchesDES: the live (measured-cost) executor against
+// the DES oracle. K-Means is not a contraction — different stale reads
+// settle different Lloyd local optima, so coordinate-level parity is
+// the wrong contract. The drift bound is on clustering *quality*: the
+// live centroids' SSE over the input points must stay within 10% of
+// the DES optimum's (shared harness: asynctest).
+func TestAsyncLiveMatchesDES(t *testing.T) {
+	pts := smallCensus(t)
+	run := func(t *testing.T, cfg *cluster.Config, opt async.Options) (*async.RunStats, any) {
+		res, err := RunAsync(cluster.New(cfg), pts, 9, DefaultConfig(0.01), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		return res.Stats, res.Centroids
+	}
+	dist := func(des, live any) float64 {
+		d, l := sse(pts, des.([][]float64)), sse(pts, live.([][]float64))
+		return math.Abs(l-d) / d
+	}
+	asynctest.CheckLiveMatchesDES(t, asynctest.Stalenesses(), 0.10, dist, run)
+}

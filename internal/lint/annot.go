@@ -16,6 +16,7 @@ const (
 	annotSchedRoot     = "sched-root"
 	annotAtomic        = "atomic"
 	annotPool          = "pool"
+	annotMeasured      = "measured"
 	annotUnorderedOK   = "unordered-ok"
 	annotMutable       = "mutable"
 )

@@ -13,6 +13,12 @@ import (
 // consult the wall clock, draw from process-global randomness, iterate
 // a map in unspecified order, or spawn goroutines outside the
 // executor's annotated pool dispatch.
+//
+// Functions declared //async:measured are the live executor's waiver:
+// their job is to observe real elapsed time (measured step costs), so
+// wall-clock reads are legal inside them. The waiver is scoped to the
+// clock — measured code is still bound by the randomness, map-order,
+// and goroutine-spawn rules.
 var DeterminismAnalyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock time, global math/rand, unordered map iteration, " +
@@ -48,33 +54,38 @@ func runDeterminism(pass *analysis.Pass) (any, error) {
 			continue
 		}
 		lines := fileAnnotLines(pass.Fset, f)
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.SelectorExpr:
-				checkForbiddenRef(pass, n)
-			case *ast.GoStmt:
-				if !lines.at(pass.Fset, annotPool, n.Pos()) {
-					pass.Reportf(n.Pos(), "bare go statement in deterministic engine code: "+
-						"goroutines may only be spawned by the executor pool dispatch (annotate with //async:pool)")
-				}
-			case *ast.RangeStmt:
-				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
-					if _, isMap := t.Underlying().(*types.Map); isMap &&
-						!lines.at(pass.Fset, annotUnorderedOK, n.Pos()) {
-						pass.Reportf(n.Pos(), "map iteration order is unspecified and feeds engine state: "+
-							"iterate a sorted key slice, or annotate the loop //async:unordered-ok if the body is order-insensitive")
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			measured := isFunc && groupHas(fd.Doc, annotMeasured)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					checkForbiddenRef(pass, n, measured)
+				case *ast.GoStmt:
+					if !lines.at(pass.Fset, annotPool, n.Pos()) {
+						pass.Reportf(n.Pos(), "bare go statement in deterministic engine code: "+
+							"goroutines may only be spawned by the executor pool dispatch (annotate with //async:pool)")
+					}
+				case *ast.RangeStmt:
+					if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap &&
+							!lines.at(pass.Fset, annotUnorderedOK, n.Pos()) {
+							pass.Reportf(n.Pos(), "map iteration order is unspecified and feeds engine state: "+
+								"iterate a sorted key slice, or annotate the loop //async:unordered-ok if the body is order-insensitive")
+						}
 					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 	return nil, nil
 }
 
 // checkForbiddenRef flags references to wall-clock time functions and
-// global math/rand state.
-func checkForbiddenRef(pass *analysis.Pass, sel *ast.SelectorExpr) {
+// global math/rand state. measured suppresses the wall-clock check only:
+// inside an //async:measured function, observing real time is the point.
+func checkForbiddenRef(pass *analysis.Pass, sel *ast.SelectorExpr, measured bool) {
 	obj := pass.TypesInfo.Uses[sel.Sel]
 	fn, ok := obj.(*types.Func)
 	if !ok || fn.Pkg() == nil {
@@ -88,7 +99,7 @@ func checkForbiddenRef(pass *analysis.Pass, sel *ast.SelectorExpr) {
 	}
 	switch fn.Pkg().Path() {
 	case "time":
-		if wallClockFuncs[fn.Name()] {
+		if wallClockFuncs[fn.Name()] && !measured {
 			pass.Reportf(sel.Pos(), "time.%s reads the wall clock: engine code runs on virtual time "+
 				"(simtime) and must stay replayable", fn.Name())
 		}

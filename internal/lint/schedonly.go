@@ -10,12 +10,15 @@ import (
 // SchedOnlyAnalyzer enforces the scheduling-goroutine contract: a
 // function or method annotated //async:sched-only (on its declaration,
 // or on its method in an interface) may only be referenced from other
-// sched-only functions or from declared //async:sched-root scheduling-
-// loop entry points. The walk is reference-based, not call-based, so a
-// sched-only method escaping as a function value from non-scheduling
-// code is caught too. Function literals are their own (non-sched)
-// context: a closure can escape to another goroutine, so it never
-// inherits its enclosing function's clearance.
+// sched-only functions, from declared //async:sched-root scheduling-
+// loop entry points, or from //async:measured executor contexts (the
+// live executor's pool tasks, which serialize their sched-only calls
+// under the engine mutex instead of on a single goroutine). The walk is
+// reference-based, not call-based, so a sched-only method escaping as a
+// function value from non-scheduling code is caught too. Function
+// literals are their own (non-sched) context: a closure can escape to
+// another goroutine, so it never inherits its enclosing function's
+// clearance — measured or otherwise.
 var SchedOnlyAnalyzer = &analysis.Analyzer{
 	Name:      "schedonly",
 	Doc:       "check that //async:sched-only functions are reached only from the scheduling goroutine's call tree",
@@ -51,7 +54,7 @@ func runSchedOnly(pass *analysis.Pass) (any, error) {
 					schedOnly[obj] = true
 					pass.ExportObjectFact(obj, &schedOnlyFact{})
 				}
-				if groupHas(d.Doc, annotSchedRoot) {
+				if groupHas(d.Doc, annotSchedRoot) || groupHas(d.Doc, annotMeasured) {
 					roots[obj] = true
 				}
 			case *ast.GenDecl:
@@ -112,7 +115,8 @@ func runSchedOnly(pass *analysis.Pass) (any, error) {
 					}
 					if !c.cleared {
 						pass.Reportf(n.Pos(), "%s is //async:sched-only but is referenced from %s, "+
-							"which is neither sched-only nor a declared //async:sched-root scheduling-loop entry point",
+							"which is neither sched-only, a declared //async:sched-root scheduling-loop entry point, "+
+							"nor an //async:measured executor context",
 							obj.Name(), c.name)
 					}
 				}

@@ -53,5 +53,25 @@ func spawn(work func()) {
 	go work()
 }
 
+// measuredCost is the live executor's waiver: an //async:measured
+// function exists to observe real elapsed time, so wall-clock reads are
+// legal inside it.
+//
+//async:measured
+func measuredCost(work func()) time.Duration {
+	start := time.Now() // no diagnostic: measured context
+	work()
+	return time.Since(start)
+}
+
+// The waiver is scoped to the clock: measured code is still bound by
+// the randomness and goroutine-spawn rules.
+//
+//async:measured
+func measuredSpawn(work func()) int {
+	go work()         // want `bare go statement in deterministic engine code`
+	return rand.Int() // want `rand.Int draws from process-global randomness`
+}
+
 // Silence unused-function vetting in the example package.
-var _ = []any{wallClock, virtualOnly, globalRand, localRand, mapIteration, spawn}
+var _ = []any{wallClock, virtualOnly, globalRand, localRand, mapIteration, spawn, measuredCost, measuredSpawn}

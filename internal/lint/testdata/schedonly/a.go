@@ -57,4 +57,24 @@ func poolDispatch(e *engine) {
 	}()
 }
 
-var _ = []any{drive, offGoroutine, escape, poolDispatch}
+// measuredTask is a pool-goroutine executor context: sanctioned to call
+// sched-only code because it serializes those calls under the engine
+// mutex rather than on a single scheduling goroutine.
+//
+//async:measured
+func measuredTask(e *engine, s scheduler) {
+	e.advance(1) // measured contexts may call sched-only code
+	s.Gate(0)
+}
+
+// A literal inside a measured context does not inherit the clearance:
+// the closure may escape to an unsanctioned goroutine.
+//
+//async:measured
+func measuredEscape(e *engine) {
+	go func() {
+		e.advance(1) // want `advance is //async:sched-only but is referenced from measuredEscape \(func literal\)`
+	}()
+}
+
+var _ = []any{drive, offGoroutine, escape, poolDispatch, measuredTask, measuredEscape}

@@ -282,3 +282,22 @@ func TestAsyncValidation(t *testing.T) {
 		t.Fatal("bad damping accepted")
 	}
 }
+
+// TestAsyncLiveMatchesDES: the live (measured-cost) executor must land
+// on the DES oracle's fixed point. PageRank's update is a contraction
+// with a unique fixed point, so real-time interleaving divergence stays
+// bounded by the convergence tolerance: parity-by-tolerance on the
+// maximum rank drift (shared harness: asynctest).
+func TestAsyncLiveMatchesDES(t *testing.T) {
+	dist := func(des, live any) float64 {
+		a, b := des.([]float64), live.([]float64)
+		var d float64
+		for i := range a {
+			if x := math.Abs(a[i] - b[i]); x > d {
+				d = x
+			}
+		}
+		return d
+	}
+	asynctest.CheckLiveMatchesDES(t, asynctest.Stalenesses(), 1e-3, dist, asyncParityRunner(t))
+}

@@ -143,3 +143,11 @@ func TestAsyncValidation(t *testing.T) {
 		t.Fatal("unweighted graph accepted")
 	}
 }
+
+// TestAsyncLiveMatchesDES: the live (measured-cost) executor must reach
+// the DES oracle's distances exactly — shortest-path relaxation is
+// monotone, so the fixed point is independent of update order and
+// interleaving (shared harness: asynctest).
+func TestAsyncLiveMatchesDES(t *testing.T) {
+	asynctest.CheckLiveMatchesDES(t, asynctest.Stalenesses(), 0, nil, asyncParityRunner(t))
+}

@@ -1,0 +1,172 @@
+// Package workpool provides the fixed work-stealing goroutine pool the
+// runtime's real-execution paths share: the async live executor's
+// partition step tasks and the legacy engines' intra-task lmap
+// sharding.
+//
+// A Pool[T] owns a fixed set of worker goroutines and one run queue per
+// worker. Owners pop their own queue FIFO (head first), so partitions
+// multiplexed onto one worker take fair turns; an idle worker steals
+// from the tail of the longest other queue, migrating the freshest item
+// to itself. SubmitLocal keeps an item on its current worker's queue —
+// the live executor uses it to re-run a non-quiescent partition on the
+// worker whose scratch (flat buffers, CSR cursors) is already warm —
+// while Submit round-robins across queues for initial placement.
+//
+// All queue operations are arbitrated by a single pool mutex rather
+// than per-queue locks with lock-free deques. That is a deliberate
+// tradeoff: every item this pool runs is a whole partition step or a
+// whole lmap chunk (tens of microseconds and up), so the critical
+// sections around a push/pop are noise against the work itself, and a
+// single lock makes the park/wake and steal paths trivially free of
+// lost-wakeup races. The steady-state Submit/run cycle performs no
+// allocation once the queues have grown to their working capacity.
+package workpool
+
+import "sync"
+
+// Pool is a fixed-size worker pool running items of type T through a
+// single runner function. The runner must not panic: pool workers run
+// it bare, so a panic propagates and kills the process (callers that
+// need capture, like core's lmap sharding, recover inside the item
+// itself).
+type Pool[T any] struct {
+	run func(worker int, item T)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [][]T // per-worker FIFO run queues
+	next   int   // round-robin cursor for Submit placement
+	idle   int   // workers parked in cond.Wait
+	steals int64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a pool of workers goroutines (at least 1) that each run
+// queued items through run(worker, item). The worker index identifies
+// the executing worker so callers can pin per-worker scratch.
+func New[T any](workers int, run func(worker int, item T)) *Pool[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool[T]{
+		run:    run,
+		queues: make([][]T, workers),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the fixed worker count.
+func (p *Pool[T]) Workers() int { return len(p.queues) }
+
+// Steals returns the number of items executed by a worker other than
+// the one whose queue they were submitted to. Safe to call only when no
+// worker is running (after Close) or when approximate values are
+// acceptable.
+func (p *Pool[T]) Steals() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.steals
+}
+
+// Submit enqueues item on the next queue in round-robin order and wakes
+// a parked worker if any. Safe from any goroutine, including pool
+// workers. Items submitted after Close may be dropped.
+func (p *Pool[T]) Submit(item T) {
+	p.mu.Lock()
+	p.queues[p.next] = append(p.queues[p.next], item)
+	p.next++
+	if p.next == len(p.queues) {
+		p.next = 0
+	}
+	if p.idle > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// SubmitLocal enqueues item on worker w's own queue, keeping it on the
+// worker whose cache and scratch already hold its state. A different
+// worker may still steal it if w is busy and others go idle.
+func (p *Pool[T]) SubmitLocal(w int, item T) {
+	p.mu.Lock()
+	p.queues[w] = append(p.queues[w], item)
+	if p.idle > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// Close marks the pool closed, lets the workers drain every queued item,
+// and waits for them to exit. Idempotent.
+func (p *Pool[T]) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool[T]) worker(w int) {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if item, ok := p.grabLocked(w); ok {
+			p.mu.Unlock()
+			p.run(w, item)
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			break
+		}
+		p.idle++
+		p.cond.Wait()
+		p.idle--
+	}
+	p.mu.Unlock()
+}
+
+// grabLocked takes the next item for worker w: the head of its own
+// queue, else the tail of the longest other queue (a steal). Caller
+// holds p.mu.
+func (p *Pool[T]) grabLocked(w int) (item T, ok bool) {
+	if q := p.queues[w]; len(q) > 0 {
+		item = q[0]
+		var zero T
+		q[0] = zero // release the slot for GC'd element types
+		p.queues[w] = q[1:]
+		if len(p.queues[w]) == 0 {
+			// Reclaim the backing array once drained so the FIFO head
+			// slice does not creep through memory forever.
+			p.queues[w] = q[:0]
+		}
+		return item, true
+	}
+	victim, best := -1, 0
+	for i := range p.queues {
+		if i != w && len(p.queues[i]) > best {
+			victim, best = i, len(p.queues[i])
+		}
+	}
+	if victim < 0 {
+		return item, false
+	}
+	q := p.queues[victim]
+	item = q[len(q)-1]
+	var zero T
+	q[len(q)-1] = zero
+	p.queues[victim] = q[:len(q)-1]
+	p.steals++
+	return item, true
+}

@@ -1,0 +1,130 @@
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEveryItem submits items from many goroutines and checks
+// each runs exactly once before Close returns.
+func TestPoolRunsEveryItem(t *testing.T) {
+	const n = 10000
+	var ran [n]int32
+	p := New(4, func(_ int, item int) {
+		atomic.AddInt32(&ran[item], 1)
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				p.Submit(i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	for i := range ran {
+		if ran[i] != 1 {
+			t.Fatalf("item %d ran %d times, want 1", i, ran[i])
+		}
+	}
+}
+
+// TestPoolSubmitLocalAndResubmit drives the live executor's pattern: a
+// worker re-enqueues its item onto its own queue from inside the
+// runner until the item is done.
+func TestPoolSubmitLocalAndResubmit(t *testing.T) {
+	const items, rounds = 16, 50
+	remaining := make([]int32, items)
+	for i := range remaining {
+		remaining[i] = rounds
+	}
+	var done sync.WaitGroup
+	done.Add(items)
+	var p *Pool[int]
+	p = New(4, func(w, item int) {
+		if atomic.AddInt32(&remaining[item], -1) > 0 {
+			p.SubmitLocal(w, item)
+			return
+		}
+		done.Done()
+	})
+	for i := 0; i < items; i++ {
+		p.Submit(i)
+	}
+	done.Wait()
+	p.Close()
+	for i, r := range remaining {
+		if r != 0 {
+			t.Fatalf("item %d has %d rounds left", i, r)
+		}
+	}
+}
+
+// TestPoolSteals loads every item onto one worker's queue while that
+// worker is blocked, and checks the other workers steal the backlog.
+func TestPoolSteals(t *testing.T) {
+	block := make(chan struct{})
+	var ran int32
+	var p *Pool[int]
+	p = New(4, func(_ int, item int) {
+		if item < 0 {
+			<-block // pin one worker
+			return
+		}
+		atomic.AddInt32(&ran, 1)
+	})
+	// One blocking item per queue position 0; then a backlog behind it.
+	p.SubmitLocal(0, -1)
+	for i := 0; i < 64; i++ {
+		p.SubmitLocal(0, i)
+	}
+	// Wait for the backlog to drain via steals.
+	for atomic.LoadInt32(&ran) < 64 {
+		runtime.Gosched()
+	}
+	close(block)
+	p.Close()
+	if s := p.Steals(); s == 0 {
+		t.Fatalf("expected steals > 0 with a pinned owner, got %d", s)
+	}
+}
+
+// TestPoolCloseIdempotent closes twice (once concurrently).
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := New(2, func(_, _ int) {})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); p.Close() }()
+	}
+	wg.Wait()
+	p.Close()
+}
+
+// TestPoolSteadyStateAllocFree checks the Submit/run cycle allocates
+// nothing once the queues have reached working capacity — the property
+// the live executor's 0-alloc step path depends on.
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	var done sync.WaitGroup
+	p := New(1, func(_, _ int) { done.Done() })
+	defer p.Close()
+	// Warm the queue's backing array.
+	for i := 0; i < 100; i++ {
+		done.Add(1)
+		p.Submit(i)
+	}
+	done.Wait()
+	allocs := testing.AllocsPerRun(200, func() {
+		done.Add(1)
+		p.Submit(7)
+		done.Wait()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Submit/run allocates %.1f allocs/op, want 0", allocs)
+	}
+}

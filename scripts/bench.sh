@@ -2,19 +2,16 @@
 # bench.sh — record the async-runtime performance baseline.
 #
 # Runs the async benchmarks with -benchmem and writes the parsed results
-# as JSON (default BENCH_PR7.json at the repo root) so later PRs can
+# as JSON (default BENCH_PR8.json at the repo root) so later PRs can
 # diff allocs/op and ns/op against a committed trajectory point. The
-# committed BENCH_PR7.json was recorded BEFORE the PR 7 raw-speed pass
-# (flat-buffer K-Means/CC adapters, engine-owned scratch in the legacy
-# general/eager engines), so it has no BenchmarkAsyncParallel/cc rows
-# and carries the old ~8.3K-allocs/op K-Means and ~14.7M-allocs/op
-# modes-bench figures; re-run this script as scripts/bench.sh
-# BENCH_PRn.json to extend the trajectory.
+# committed BENCH_PR8.json was recorded BEFORE the PR 8 live executor
+# landed, so it has no BenchmarkAsyncLive rows; re-run this script as
+# scripts/bench.sh BENCH_PRn.json to extend the trajectory.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -eu
 
-out=${1:-BENCH_PR7.json}
+out=${1:-BENCH_PR8.json}
 benchtime=${2:-3x}
 cd "$(dirname "$0")/.."
 
@@ -22,7 +19,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run xxx \
-	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$|BenchmarkAsyncAdaptive$' \
+	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$|BenchmarkAsyncAdaptive$|BenchmarkAsyncLive$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
 # Parse `BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  0.5 metric`
