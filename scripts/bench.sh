@@ -2,7 +2,7 @@
 # bench.sh — record the async-runtime performance baseline.
 #
 # Runs the async benchmarks with -benchmem and writes the parsed results
-# as JSON (default BENCH_PR8.json at the repo root) so later PRs can
+# as JSON (default BENCH_PR9.json at the repo root) so later PRs can
 # diff allocs/op and ns/op against a committed trajectory point. The
 # committed BENCH_PR8.json was recorded BEFORE the PR 8 live executor
 # landed, so it has no BenchmarkAsyncLive rows; re-run this script as
@@ -11,7 +11,7 @@
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -eu
 
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR9.json}
 benchtime=${2:-3x}
 cd "$(dirname "$0")/.."
 
