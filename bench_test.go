@@ -30,6 +30,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/simtime"
 	"repro/internal/sssp"
+	"repro/internal/trace"
 )
 
 // benchScale shrinks workloads so a full figure regenerates in seconds.
@@ -577,6 +578,57 @@ func BenchmarkAsyncParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAsyncTraced is BenchmarkAsyncParallel's pagerank/parallel
+// row with the event recorder attached: the speculated step path under
+// full tracing, every hook firing. Its ns/op and allocs/op against the
+// untraced row measure the recorder's whole overhead — the per-run
+// ring allocation plus the locked appends — which the tentpole bounds
+// at ~10% of the untraced budget (scripts/alloc_guard.sh enforces
+// 2750 vs the untraced 2500). Parity with the untraced DES trajectory
+// is asserted, so the row also re-proves inertness at bench scale.
+func BenchmarkAsyncTraced(b *testing.B) {
+	const parallelScale = 4 // match BenchmarkAsyncParallel's workload
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(parallelScale))
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var base *async.RunStats
+	b.Run("pagerank/parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := trace.NewRecorder(trace.DefaultCapacity)
+			opt := async.Options{Staleness: harness.DefaultStaleness, Executor: async.Parallel, Trace: rec}
+			res, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs,
+				pagerank.DefaultConfig(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if base == nil {
+				untraced := opt
+				untraced.Trace = nil
+				ref, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs,
+					pagerank.DefaultConfig(), untraced)
+				if err != nil {
+					b.Fatal(err)
+				}
+				base = ref.Stats
+			}
+			if res.Stats.Duration != base.Duration || res.Stats.Steps != base.Steps {
+				b.Fatalf("traced run diverged from untraced baseline: %v/%d vs %v/%d",
+					res.Stats.Duration, res.Stats.Steps, base.Duration, base.Steps)
+			}
+			if rec.Len() == 0 {
+				b.Fatal("recorder captured no events")
+			}
+			b.ReportMetric(float64(rec.Len())+float64(rec.Dropped()), "events")
+		}
+	})
 }
 
 // BenchmarkAsyncLive measures the live executor: real partition compute

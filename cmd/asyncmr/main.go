@@ -8,7 +8,7 @@
 // Usage:
 //
 //	asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W]
-//	        [-mttf T] [-ckpt P] [-cpuprofile F] [-memprofile F] <experiment>
+//	        [-mttf T] [-ckpt P] [-trace F] [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments:
 //
@@ -44,6 +44,12 @@
 //	                   converge across checkpoint cadences under several
 //	                   failure regimes, with the checkpoint-write vs
 //	                   recovery-replay decomposition
+//	trace              event-tracing experiment: async PageRank under
+//	                   all three executors with the recorder attached,
+//	                   printing each run's aggregated profile (compute /
+//	                   gate-wait / stall decomposition, top blocking
+//	                   edges) and re-checking on DES that tracing is
+//	                   inert (identical stats with the recorder on)
 //	run                run PageRank, SSSP, connected components and
 //	                   K-Means end to end in the mode selected by
 //	                   -mode/-staleness (cc is async-only: label
@@ -74,6 +80,15 @@
 // the checkpoint policy: none (default), steps:K (every K steps) or
 // interval:SECONDS (virtual time). Both apply to `run` and the async
 // figures; the `recovery` experiment sweeps them itself.
+//
+// -trace records a structured event trace of each async/live workload
+// in `run` (internal/trace; tracing is inert — results are
+// bit-identical with it on) and writes one Chrome trace-event file per
+// workload, splicing the workload name before the extension
+// ("out.json" -> "out.pagerank.json"); load them in chrome://tracing
+// or Perfetto. The aggregated profile (per-partition compute /
+// gate-wait / stall decomposition and top blocking edges) is printed
+// with the run table.
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, so the runtime's hot paths can be profiled on full-size
@@ -112,11 +127,13 @@ func main() {
 		"worker-crash mean time to failure in simulated seconds for async runs; 0 disables crashes")
 	ckpt := flag.String("ckpt", "none",
 		"worker checkpoint policy for async runs: none, steps:K or interval:SECONDS")
+	traceOut := flag.String("trace", "",
+		"record an event trace of each async/live workload in 'run' and write Chrome trace-event files at this path (workload name spliced before the extension)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-mttf T] [-ckpt P] [-cpuprofile F] [-memprofile F] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue adaptive adaptiveclue parallel parallelhpc livescaling recovery run all\n")
+		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-mttf T] [-ckpt P] [-trace F] [-cpuprofile F] [-memprofile F] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue adaptive adaptiveclue parallel parallelhpc livescaling recovery trace run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -149,6 +166,7 @@ func main() {
 		os.Exit(2)
 	}
 	s.CheckpointPolicy = pol
+	s.TracePath = *traceOut
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -299,6 +317,12 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		f.Render(out)
+	case "trace":
+		f, err := s.TraceExperiment(out)
+		if err != nil {
+			return err
+		}
+		f.Render(out)
 	case "run":
 		rows, err := s.RunWorkloads(mode, s.AsyncStaleness)
 		if err != nil {
@@ -391,6 +415,11 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		fr.Render(out)
+		ftr, err := s.TraceExperiment(out)
+		if err != nil {
+			return err
+		}
+		ftr.Render(out)
 		fs, err := s.Scalability()
 		if err != nil {
 			return err

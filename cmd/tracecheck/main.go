@@ -1,0 +1,42 @@
+// Command tracecheck validates Chrome trace-event files emitted by
+// `asyncmr -trace` (or the internal/trace exporter generally): each
+// file must parse as JSON, carry the exporter's document headers
+// (millisecond display unit, a known time domain), and every event
+// must satisfy the per-phase schema — metadata records carry no
+// timestamp, spans have non-negative ts/dur, instants a known scope.
+//
+// Usage:
+//
+//	tracecheck FILE...
+//
+// One line per valid file; the first invalid file aborts with a
+// nonzero exit. The CI smoke job runs it over the files a live-mode
+// `asyncmr -trace` run just wrote.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintf(os.Stderr, "usage: tracecheck FILE...\n")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := trace.ValidateChrome(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d events)\n", path, n)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/cluster"
 	"repro/internal/recovery"
+	"repro/internal/trace"
 )
 
 // Runner executes the workload once on a fresh cluster built from cfg
@@ -255,6 +256,146 @@ func CheckFixedPolicyIdentity(t *testing.T, stalenesses []int, run Runner) {
 			if !reflect.DeepEqual(plainState, fixedState) {
 				t.Fatalf("%s: converged state diverged from the static-bound engine", label)
 			}
+		}
+	}
+}
+
+// statsIdentical is the trace-inertness comparison: unlike StatsEqual
+// it compares EVERY RunStats field, executor-specific counters
+// included, because both runs used the same executor — the only
+// variable is the recorder, which must change nothing.
+func statsIdentical(t *testing.T, label string, off, on *async.RunStats) {
+	t.Helper()
+	ov := reflect.ValueOf(*off)
+	nv := reflect.ValueOf(*on)
+	rt := ov.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		if !reflect.DeepEqual(ov.Field(i).Interface(), nv.Field(i).Interface()) {
+			t.Fatalf("%s: tracing is not inert: %s diverged: %v (trace off) vs %v (trace on)\noff: %+v\non:  %+v",
+				label, rt.Field(i).Name, ov.Field(i).Interface(), nv.Field(i).Interface(), off, on)
+		}
+	}
+}
+
+// checkTracedPair runs the workload twice with identical options —
+// recorder off, then on — and fails unless the two runs are
+// bit-identical (every RunStats field and the converged state) while
+// the recorder actually captured events. This is the heart of the
+// tracing layer's inertness contract.
+func checkTracedPair(t *testing.T, label string, cfg *cluster.Config, opt async.Options, run Runner) *trace.Recorder {
+	t.Helper()
+	opt.Trace = nil
+	offStats, offState := run(t, cfg, opt)
+	rec := trace.NewRecorder(1 << 20)
+	opt.Trace = rec
+	onStats, onState := run(t, cfg, opt)
+	statsIdentical(t, label, offStats, onStats)
+	if !reflect.DeepEqual(offState, onState) {
+		t.Fatalf("%s: tracing is not inert: converged state diverged", label)
+	}
+	if rec.Len() == 0 {
+		t.Fatalf("%s: recorder captured no events; the inertness check is vacuous", label)
+	}
+	return rec
+}
+
+// CheckTraceInert is the trace layer's contract check: attaching a
+// trace.Recorder must not change a run. Covered legs: DES and parallel
+// across presets × stalenesses (bit-identical stats and state, all
+// fields), both executors under worker crashes with checkpoints
+// (speculation invalidation and fault hooks), both under an adaptive
+// policy (bound-change hooks), and the live executor against its DES
+// oracle with the workload's usual tolerance (live runs are not
+// reproducible, so traced-live is held to the same dist/tol contract
+// as untraced-live, plus wall stamping must be armed). Event-kind
+// coverage is asserted where it is deterministic.
+func CheckTraceInert(t *testing.T, stalenesses []int, tol float64, dist func(des, live any) float64, run Runner) {
+	t.Helper()
+	presets := []*cluster.Config{cluster.EC2LargeCluster(), cluster.HPCCluster()}
+	for _, cfg := range presets {
+		for _, s := range stalenesses {
+			for _, ex := range []async.Executor{async.DES, async.Parallel} {
+				opt := async.Options{Staleness: s, Executor: ex}
+				label := parityLabel(cfg, s) + "/traced/" + ex.String()
+				rec := checkTracedPair(t, label, cfg, opt, run)
+				assertKinds(t, label, rec, trace.KindStepStart, trace.KindStepEnd, trace.KindPublish)
+				if ex == async.Parallel {
+					assertKinds(t, label, rec, trace.KindSpecDispatch, trace.KindSpecCommit)
+				}
+			}
+		}
+	}
+
+	// Crash leg: crashes + checkpoints on both executors; under the
+	// parallel executor recovery invalidates in-flight speculation, the
+	// hardest interleaving the hooks ride along with.
+	cfg := cluster.EC2LargeCluster()
+	s := stalenesses[len(stalenesses)-1]
+	base, _ := run(t, cfg, async.Options{Staleness: s})
+	crashy := *cfg
+	crashy.CrashMTTF = base.Duration / 4
+	for _, ex := range []async.Executor{async.DES, async.Parallel} {
+		opt := async.Options{Staleness: s, Executor: ex, Checkpoint: recovery.EverySteps(4)}
+		label := parityLabel(cfg, s) + "/traced/crashy/" + ex.String()
+		rec := checkTracedPair(t, label, &crashy, opt, run)
+		assertKinds(t, label, rec, trace.KindCrash, trace.KindRecovery, trace.KindCheckpoint)
+	}
+
+	// Adaptive leg: the bound-change hook must be inert too.
+	for _, ex := range []async.Executor{async.DES, async.Parallel} {
+		opt := async.Options{Adapt: adapt.AIMDDefault(), Executor: ex}
+		label := cfg.Name + "/traced/adaptive/" + ex.String()
+		checkTracedPair(t, label, cfg, opt, run)
+	}
+
+	// Live leg: not reproducible run to run, so inertness is asserted
+	// as "a traced live run still satisfies the DES-oracle contract",
+	// with both time domains stamped.
+	live := *cfg
+	live.LiveNetScale = LiveNetScaleForTests
+	oracleStats, oracleState := run(t, &live, async.Options{Staleness: 2})
+	rec := trace.NewRecorder(1 << 20)
+	opt := async.Options{Staleness: 2, Executor: async.Live, Trace: rec}
+	liveStats, liveState := run(t, &live, opt)
+	label := live.Name + "/traced/live"
+	if oracleStats.Converged && !liveStats.Converged {
+		t.Fatalf("%s: DES converged but traced live did not", label)
+	}
+	if dist == nil {
+		if !reflect.DeepEqual(oracleState, liveState) {
+			t.Fatalf("%s: traced live diverged from the DES oracle (exact parity expected)", label)
+		}
+	} else if d := dist(oracleState, liveState); d > tol {
+		t.Fatalf("%s: traced live drifted %g from the DES oracle, tolerance %g", label, d, tol)
+	}
+	assertKinds(t, label, rec, trace.KindStepStart, trace.KindStepEnd, trace.KindPublish)
+	var walled bool
+	for _, e := range rec.Events() {
+		if e.Wall > 0 {
+			walled = true
+			break
+		}
+	}
+	if !walled {
+		t.Fatalf("%s: live trace carries no wall stamps; StartWall was not armed", label)
+	}
+}
+
+// assertKinds fails unless the recorder captured at least one event of
+// every listed kind.
+func assertKinds(t *testing.T, label string, rec *trace.Recorder, kinds ...trace.Kind) {
+	t.Helper()
+	events := rec.Events()
+	for _, k := range kinds {
+		found := false
+		for _, e := range events {
+			if e.Kind == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: trace captured no %v events (%d total); kind coverage is vacuous", label, k, len(events))
 		}
 	}
 }

@@ -60,6 +60,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/recovery"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/workpool"
 )
 
@@ -126,6 +127,7 @@ type liveScheduler[D any] struct {
 	inbuf    [][]Snapshot[D]
 	parts    []*livePart
 	pool     *workpool.Pool[int]
+	rec      *trace.Recorder
 
 	start time.Time // monotonic run origin; all timestamps are offsets from it
 
@@ -227,6 +229,16 @@ func newLiveScheduler[D any](c *cluster.Cluster, w Workload[D], opt Options) (*l
 		workers = n
 	}
 	s.pool = workpool.New(workers, s.runPart)
+	s.rec = opt.Trace
+	if rec := s.rec; rec != nil {
+		// Steal attribution: the hook runs on the stealing worker's
+		// goroutine before the item does; the wall stamp the recorder
+		// applies places the migration on the timeline. No items are
+		// queued yet, so the hook is installed race-free.
+		s.pool.SetStealHook(func(w, p int) {
+			rec.Emit(trace.KindSteal, p, -1, 0, int64(w), 0, 0)
+		})
+	}
 	return s, nil
 }
 
@@ -268,6 +280,7 @@ func (s *liveScheduler[D]) Admit() (int, bool) {
 //async:measured — stamps the monotonic run origin all measurements are offsets of.
 func (s *liveScheduler[D]) runLive() {
 	s.start = time.Now()
+	s.rec.StartWall()
 	s.timerWG.Add(1)
 	//async:pool — the executor's one goroutine besides the workpool: the timed-wake server.
 	go s.timerLoop()
@@ -333,6 +346,7 @@ func (s *liveScheduler[D]) runPart(w, p int) {
 		if lp.waitMeasured {
 			s.ctrl.AddWaitTime(p, waited)
 		}
+		s.rec.Emit(trace.KindGateRelease, p, lp.steps, lp.waitStart+waited, -1, 0, 0)
 		lp.waitStart = -1
 	}
 	if bound := s.ctrl.Bound(p); bound >= 0 && s.gateLocked(p, bound) {
@@ -359,9 +373,11 @@ func (s *liveScheduler[D]) runPart(w, p int) {
 	}
 	s.mu.Unlock()
 
+	s.rec.Emit(trace.KindStepStart, p, lp.steps, t, 0, 0, 0)
 	t0 := time.Now()
 	out, err := runStep(s.w, p, lp.steps, buf)
-	lp.compute += simtime.Duration(time.Since(t0).Seconds())
+	dc := simtime.Duration(time.Since(t0).Seconds())
+	lp.compute += dc
 	if err != nil {
 		s.mu.Lock()
 		s.failLocked(err)
@@ -371,9 +387,11 @@ func (s *liveScheduler[D]) runPart(w, p int) {
 	lp.steps++
 	lp.quiescent = out.Quiescent
 	lp.ops += out.Ops
+	s.rec.Emit(trace.KindStepEnd, p, lp.steps-1, t+dc, 0, 0, dc)
 
 	if out.Publish {
-		visAt := s.now() + s.pushDelay(out.Bytes)
+		pubAt := s.now()
+		visAt := pubAt + s.pushDelay(out.Bytes)
 		if visAt < lp.lastPubAt {
 			visAt = lp.lastPubAt
 		}
@@ -391,6 +409,7 @@ func (s *liveScheduler[D]) runPart(w, p int) {
 		}
 		lp.publishes++
 		lp.pushedBytes += out.Bytes
+		s.rec.Emit(trace.KindPublish, p, lp.steps-1, pubAt, int64(lp.version), out.Bytes, visAt-pubAt)
 	}
 
 	s.mu.Lock()
@@ -415,7 +434,9 @@ func (s *liveScheduler[D]) runPart(w, p int) {
 			}
 		}
 	}
-	s.ctrl.StepDone(p, out.Publish, lag)
+	if s.ctrl.StepDone(p, out.Publish, lag) {
+		s.rec.Emit(trace.KindAdaptBound, p, lp.steps, s.now(), int64(s.ctrl.Bound(p)), 0, 0)
+	}
 	switch {
 	case lp.steps >= s.maxSteps:
 		s.forceLocked(p)
@@ -460,18 +481,23 @@ func (s *liveScheduler[D]) gateLocked(p, bound int) bool {
 		}
 		lp.gateWaits++
 		lp.waitStart = t
+		s.rec.Emit(trace.KindGateBegin, p, lp.steps, t, int64(q), int64(need), 0)
 		if s.store.Latest(q) >= need {
 			// Published but still inside its modeled network delay: the
 			// version exists, so WaitVersion returns immediately with its
 			// visibility time.
 			snap, _ := s.store.WaitVersion(q, need)
 			lp.waitMeasured = false
-			s.ctrl.GateWait(p, snap.At-t)
+			if s.ctrl.GateWait(p, snap.At-t) {
+				s.rec.Emit(trace.KindAdaptBound, p, lp.steps, t, int64(s.ctrl.Bound(p)), 0, 0)
+			}
 			s.parkTimedLocked(p, snap.At)
 			return true
 		}
 		lp.waitMeasured = true
-		s.ctrl.GateWait(p, 0)
+		if s.ctrl.GateWait(p, 0) {
+			s.rec.Emit(trace.KindAdaptBound, p, lp.steps, t, int64(s.ctrl.Bound(p)), 0, 0)
+		}
 		lp.state = liveBlocked
 		qp.gateWaiters = append(qp.gateWaiters, p)
 		return true

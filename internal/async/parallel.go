@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // parallelScheduler is the wall-clock-parallel executor: it drives the
@@ -254,6 +255,7 @@ func (s *parallelScheduler[D]) tryDispatch(p int, frontier simtime.Duration) {
 	if s.outstanding > s.stats.SpecDepth {
 		s.stats.SpecDepth = s.outstanding
 	}
+	s.rec.Emit(trace.KindSpecDispatch, p, sp.step, t, int64(s.outstanding), 0, 0)
 	s.tasks <- sp
 }
 
@@ -313,6 +315,7 @@ func (s *parallelScheduler[D]) Execute(p int) (StepOutcome[D], error) {
 	if sp.err != nil {
 		return StepOutcome[D]{}, sp.err
 	}
+	s.rec.Emit(trace.KindSpecCommit, p, sp.step, st.clock, 0, 0, 0)
 	s.noteStep(p, sp.out)
 	s.stats.Speculated++
 	return sp.out, nil
@@ -331,6 +334,7 @@ func (s *parallelScheduler[D]) invalidate(p int) {
 	sp.done.Wait()
 	sp.active = false
 	s.outstanding--
+	s.rec.Emit(trace.KindSpecInvalidate, p, sp.step, s.pendingAt[p], 0, 0, 0)
 }
 
 // Finish checks that every speculation was consumed, then finalizes as

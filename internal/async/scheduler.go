@@ -48,6 +48,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/recovery"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // Unbounded disables the staleness gate: workers free-run.
@@ -120,6 +121,14 @@ type Options struct {
 	// Staleness is ignored — the policy's Init defines every worker's
 	// starting bound.
 	Adapt adapt.Policy
+	// Trace, when non-nil, records the run's structured event stream
+	// (internal/trace): step/gate/publish/speculation/fault/adapt
+	// events stamped with virtual time (and wall time under Live).
+	// Tracing is inert — hook sites only read engine state and append
+	// to the recorder, so RunStats and converged state are
+	// bit-identical with Trace set or nil (asynctest.CheckTraceInert).
+	// nil disables all recording at the cost of one branch per hook.
+	Trace *trace.Recorder
 }
 
 // StepOutcome is what one worker step hands back to the engine.
@@ -501,6 +510,10 @@ type core[D any] struct {
 	ctrl      *adapt.Controller
 	adaptCost simtime.Duration
 	needLag   bool
+
+	// rec is the optional structured-event recorder (Options.Trace).
+	// Hooks call it unconditionally: a nil recorder is a single branch.
+	rec *trace.Recorder
 }
 
 // newCore validates the workload and performs startup: version 0 of
@@ -532,6 +545,7 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 		pending:   make([]bool, n),
 		pendingAt: make([]simtime.Duration, n),
 		inDirty:   make([]bool, n),
+		rec:       opt.Trace,
 	}
 	for p := 0; p < n; p++ {
 		nbrs := w.Neighbors(p)
@@ -706,6 +720,7 @@ func (k *core[D]) Admit() (int, bool) {
 func (k *core[D]) handleCrash(p int, at simtime.Duration) {
 	st := k.workers[p]
 	k.stats.Crashes++
+	k.rec.Emit(trace.KindCrash, p, st.steps, at, 0, 0, 0)
 	if st.forced {
 		// The step cap already declared this partition dead to the run;
 		// there is nothing to recover for.
@@ -717,7 +732,8 @@ func (k *core[D]) handleCrash(p int, at simtime.Duration) {
 		k.onCrash(p)
 	}
 	lg := st.log
-	k.stats.LostSteps += int64(lg.Lost())
+	lost := lg.Lost()
+	k.stats.LostSteps += int64(lost)
 
 	// Restore: workload state back to the checkpoint, read bookkeeping
 	// (cursors, consumed versions) rewound with it.
@@ -763,6 +779,7 @@ func (k *core[D]) handleCrash(p int, at simtime.Duration) {
 	st.clock = start + d
 	k.stats.Recoveries++
 	k.stats.RecoveryTime += d
+	k.rec.Emit(trace.KindRecovery, p, st.steps, st.clock, int64(lost), 0, d)
 
 	// The journal is not truncated: recovery restores the same
 	// checkpoint, so a second crash before the next checkpoint replays
@@ -810,11 +827,12 @@ func (k *core[D]) Gate(p int) bool {
 	if bound < 0 {
 		return true
 	}
-	q, wakeAt, wait := k.gateCheck(st, st.clock, bound)
+	q, nb, wakeAt, wait := k.gateCheck(st, st.clock, bound)
 	if !wait {
 		return true
 	}
 	k.stats.GateWaits++
+	k.rec.Emit(trace.KindGateBegin, p, st.steps, st.clock, int64(nb), int64(st.version-bound), 0)
 	var waited simtime.Duration
 	if q < 0 {
 		// The wake time is known at booking; the blocked-on-a-laggard
@@ -824,6 +842,7 @@ func (k *core[D]) Gate(p int) bool {
 	}
 	if k.ctrl.GateWait(p, waited) {
 		st.clock += k.adaptCost
+		k.rec.Emit(trace.KindAdaptBound, p, st.steps, st.clock, int64(k.ctrl.Bound(p)), 0, 0)
 	}
 	if q >= 0 {
 		// The needed version does not exist yet: sleep until q publishes
@@ -839,6 +858,7 @@ func (k *core[D]) Gate(p int) bool {
 		if wakeAt < st.clock {
 			wakeAt = st.clock
 		}
+		k.rec.Emit(trace.KindGateRelease, p, st.steps, wakeAt, int64(nb), 0, 0)
 		k.schedule(p, wakeAt)
 	}
 	return false
@@ -887,10 +907,15 @@ func (k *core[D]) readInputs(p int) ([]Snapshot[D], error) {
 }
 
 // noteStep records a completed step in the worker and run counters.
+// It is the canonical step boundary on both virtual-time executors
+// (inline execution and speculated-consume alike reach it in event
+// order), so it doubles as the trace layer's step-start hook: the
+// step ran at st.clock, the pre-pricing event time.
 //
 //async:sched-only
 func (k *core[D]) noteStep(p int, out StepOutcome[D]) {
 	st := k.workers[p]
+	k.rec.Emit(trace.KindStepStart, p, st.steps, st.clock, 0, 0, 0)
 	st.steps++
 	st.quiescent = out.Quiescent
 	k.stats.Steps++
@@ -943,6 +968,7 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 		d += simtime.Duration(wasted * float64(d))
 	}
 	st.clock += d
+	k.rec.Emit(trace.KindStepEnd, p, st.steps-1, st.clock, 0, 0, d)
 
 	if !out.Publish {
 		k.maybeCheckpoint(p)
@@ -955,6 +981,7 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 	}
 	k.stats.Publishes++
 	k.stats.PushedBytes += out.Bytes
+	k.rec.Emit(trace.KindPublish, p, st.steps-1, st.clock, int64(st.version), out.Bytes, 0)
 	// Wake idle readers: fresh input may un-quiesce them.
 	for _, r := range st.readers {
 		if k.workers[r].idle && !k.workers[r].forced {
@@ -966,7 +993,7 @@ func (k *core[D]) Publish(p int, out StepOutcome[D]) error {
 			k.schedule(r, wake)
 		}
 	}
-	k.blocked -= k.releaseGateWaiters(st)
+	k.blocked -= k.releaseGateWaiters(p)
 	k.maybeCheckpoint(p)
 	k.adaptStep(p, true)
 	return nil
@@ -996,6 +1023,7 @@ func (k *core[D]) adaptStep(p int, published bool) {
 	}
 	if k.ctrl.StepDone(p, published, lag) {
 		st.clock += k.adaptCost
+		k.rec.Emit(trace.KindAdaptBound, p, st.steps, st.clock, int64(k.ctrl.Bound(p)), 0, 0)
 	}
 }
 
@@ -1020,6 +1048,7 @@ func (k *core[D]) maybeCheckpoint(p int) {
 	st.clock += d
 	k.stats.Checkpoints++
 	k.stats.CheckpointTime += d
+	k.rec.Emit(trace.KindCheckpoint, p, st.steps, st.clock, bytes, 0, d)
 	st.log.Commit(state, bytes, st.steps, st.clock, st.cursors, st.consumed)
 }
 
@@ -1036,7 +1065,7 @@ func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 		// so any (external) WaitVersion caller blocked on a future
 		// version must wake and observe the failure instead of hanging.
 		k.store.Seal(p)
-		k.blocked -= k.releaseGateWaiters(st)
+		k.blocked -= k.releaseGateWaiters(p)
 		// A forced partition never publishes again: readers' admission
 		// bounds against it become vacuous.
 		k.markReaders(p)
@@ -1052,7 +1081,7 @@ func (k *core[D]) Advance(p int, out StepOutcome[D]) {
 			k.schedule(p, at)
 		} else {
 			st.idle = true
-			k.blocked -= k.releaseGateWaiters(st)
+			k.blocked -= k.releaseGateWaiters(p)
 			// p now has no pending event; its readers' bounds fall back
 			// to the frontier rule and grow as the frontier advances.
 			k.markReaders(p)
@@ -1122,7 +1151,8 @@ func (k *core[D]) Finish() (*RunStats, error) {
 // duration was unknowable).
 //
 //async:sched-only
-func (k *core[D]) releaseGateWaiters(st *workerState) int {
+func (k *core[D]) releaseGateWaiters(p int) int {
+	st := k.workers[p]
 	released := len(st.gateWaiters)
 	for _, r := range st.gateWaiters {
 		wake := k.workers[r].clock
@@ -1133,6 +1163,7 @@ func (k *core[D]) releaseGateWaiters(st *workerState) int {
 			k.stats.GateWaitTime += d
 			k.ctrl.AddWaitTime(r, d)
 		}
+		k.rec.Emit(trace.KindGateRelease, r, k.workers[r].steps, wake, int64(p), 0, 0)
 		k.schedule(r, wake)
 	}
 	st.gateWaiters = st.gateWaiters[:0]
@@ -1142,16 +1173,18 @@ func (k *core[D]) releaseGateWaiters(st *workerState) int {
 // gateCheck evaluates the staleness bound for st at time t. wait=false
 // means the step may run. Otherwise either q >= 0 (the needed version of
 // q does not exist yet; block until q publishes or idles) or q = -1 and
-// wakeAt holds the virtual time the needed version becomes visible.
-// Reads go through the per-neighbor cursors: gate reads and input reads
-// for one worker happen at the same non-decreasing clock, so they share
-// the cursor cache.
+// wakeAt holds the virtual time the needed version becomes visible. nb
+// is the neighbor the gate parked on in either case (equal to q when
+// q >= 0) — the attribution the trace layer records. Reads go through
+// the per-neighbor cursors: gate reads and input reads for one worker
+// happen at the same non-decreasing clock, so they share the cursor
+// cache.
 //
 //async:sched-only
-func (k *core[D]) gateCheck(st *workerState, t simtime.Duration, bound int) (q int, wakeAt simtime.Duration, wait bool) {
+func (k *core[D]) gateCheck(st *workerState, t simtime.Duration, bound int) (q, nb int, wakeAt simtime.Duration, wait bool) {
 	need := st.version - bound
 	if need <= 0 {
-		return -1, 0, false
+		return -1, -1, 0, false
 	}
 	for j, nb := range st.neighbors {
 		other := k.workers[nb]
@@ -1170,11 +1203,11 @@ func (k *core[D]) gateCheck(st *workerState, t simtime.Duration, bound int) (q i
 			// t's virtual future; wait exactly until then. The version
 			// exists, so this WaitVersion never blocks or fails.
 			snap, _ := k.store.WaitVersion(nb, need)
-			return -1, snap.At, true
+			return -1, nb, snap.At, true
 		}
-		return nb, 0, true
+		return nb, nb, 0, true
 	}
-	return -1, 0, false
+	return -1, -1, 0, false
 }
 
 // firstUnseen reports whether any neighbor has published a version newer

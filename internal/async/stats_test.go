@@ -1,0 +1,83 @@
+package async
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// nonzeroStats builds a RunStats with every field set to a distinct
+// non-zero value (via reflection, so a new field cannot be forgotten),
+// which is what makes the coverage assertions below non-vacuous.
+func nonzeroStats(t *testing.T) *RunStats {
+	t.Helper()
+	s := &RunStats{}
+	v := reflect.ValueOf(s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int64:
+			f.SetInt(int64(i + 1))
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.5)
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Slice:
+			f.Set(reflect.MakeSlice(f.Type(), 2, 2))
+		default:
+			t.Fatalf("RunStats.%s has kind %v the stats renderers were never taught; extend nonzeroStats and the renderers",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return s
+}
+
+// TestStatsStringCoversEveryField mirrors the parity harness's
+// field-drift test for the textual rendering: every exported RunStats
+// field name must appear in String(), so a counter added to RunStats
+// cannot silently stay invisible in `asyncmr run` output.
+func TestStatsStringCoversEveryField(t *testing.T) {
+	s := nonzeroStats(t)
+	out := s.String()
+	rt := reflect.TypeOf(*s)
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if !strings.Contains(out, name) {
+			t.Errorf("RunStats.String() does not mention field %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestStatsJSONCoversEveryField pins the JSON rendering the same way:
+// every exported field must round-trip under its Go name.
+func TestStatsJSONCoversEveryField(t *testing.T) {
+	s := nonzeroStats(t)
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v\n%s", err, sb.String())
+	}
+	rt := reflect.TypeOf(*s)
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if _, ok := m[name]; !ok {
+			t.Errorf("WriteJSON output has no key %q:\n%s", name, sb.String())
+		}
+	}
+	if len(m) != rt.NumField() {
+		t.Errorf("WriteJSON emitted %d keys, RunStats has %d exported fields", len(m), rt.NumField())
+	}
+
+	// Round-trip: the JSON view must decode back to the same stats.
+	var back RunStats
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("decoding WriteJSON output: %v", err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("JSON round-trip diverged:\nin:  %+v\nout: %+v", *s, back)
+	}
+}

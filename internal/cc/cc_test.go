@@ -247,3 +247,11 @@ func TestReferenceLabelsAreComponentMinima(t *testing.T) {
 func TestAsyncLiveMatchesDES(t *testing.T) {
 	asynctest.CheckLiveMatchesDES(t, asynctest.Stalenesses(), 0, nil, asyncParityRunner(t))
 }
+
+// TestAsyncTraceInert: attaching a trace.Recorder must not change the
+// run — bit-identical stats and components on DES and parallel, exact
+// DES-oracle parity under the live executor (CC is monotone; shared
+// harness: asynctest).
+func TestAsyncTraceInert(t *testing.T) {
+	asynctest.CheckTraceInert(t, []int{0, 2}, 0, nil, asyncParityRunner(t))
+}

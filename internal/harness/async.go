@@ -13,6 +13,7 @@ import (
 	"repro/internal/pagerank"
 	"repro/internal/simtime"
 	"repro/internal/sssp"
+	"repro/internal/trace"
 )
 
 // DefaultStaleness is the staleness bound S the comparison figures use
@@ -373,6 +374,12 @@ type WorkloadRow struct {
 	Iterations float64 // global iterations (mean worker steps for async)
 	SimSeconds float64
 	Converged  bool
+	// Stats carries the async runtime's full counters (nil for the
+	// MapReduce modes, whose engine reports a different set).
+	Stats *async.RunStats
+	// Trace is the aggregated event profile when the suite recorded
+	// one (Suite.TracePath set; async/live modes only).
+	Trace *trace.Profile
 }
 
 // RunWorkloads executes PageRank (Graph A), SSSP (Graph A) and K-Means
@@ -404,44 +411,79 @@ func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) 
 	}
 	var rows []WorkloadRow
 
+	// addAsync runs one workload with a fresh per-run recorder when the
+	// suite traces (Suite.TracePath), flushes the Chrome export, and
+	// appends the row with its full stats and profile attached.
+	addAsync := func(workload string, run func(async.Options) (*async.RunStats, error)) error {
+		o := opt
+		rec := s.traceRecorder()
+		o.Trace = rec
+		st, err := run(o)
+		if err != nil {
+			return err
+		}
+		prof, err := s.flushTrace(rec, workload, mode == "live")
+		if err != nil {
+			return err
+		}
+		rows = append(rows, WorkloadRow{workload, mode, st.MeanSteps, st.Duration.Seconds(), st.Converged, st, prof})
+		return nil
+	}
+
 	switch mode {
 	case "async", "live":
-		pr, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), opt)
-		if err != nil {
+		if err := addAsync("pagerank", func(o async.Options) (*async.RunStats, error) {
+			r, err := pagerank.RunAsync(s.asyncCluster(), subs, pagerank.DefaultConfig(), o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Stats, nil
+		}); err != nil {
 			return nil, err
 		}
-		rows = append(rows, WorkloadRow{"pagerank", mode, pr.Stats.MeanSteps, pr.Stats.Duration.Seconds(), pr.Stats.Converged})
-		sp, err := sssp.RunAsync(s.asyncCluster(), subs, sssp.Config{Source: 0}, opt)
-		if err != nil {
+		if err := addAsync("sssp", func(o async.Options) (*async.RunStats, error) {
+			r, err := sssp.RunAsync(s.asyncCluster(), subs, sssp.Config{Source: 0}, o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Stats, nil
+		}); err != nil {
 			return nil, err
 		}
-		rows = append(rows, WorkloadRow{"sssp", mode, sp.Stats.MeanSteps, sp.Stats.Duration.Seconds(), sp.Stats.Converged})
-		ccr, err := cc.RunAsync(s.asyncCluster(), subs, cc.Config{}, opt)
-		if err != nil {
+		if err := addAsync("cc", func(o async.Options) (*async.RunStats, error) {
+			r, err := cc.RunAsync(s.asyncCluster(), subs, cc.Config{}, o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Stats, nil
+		}); err != nil {
 			return nil, err
 		}
-		rows = append(rows, WorkloadRow{"cc", mode, ccr.Stats.MeanSteps, ccr.Stats.Duration.Seconds(), ccr.Stats.Converged})
 		pts, err := kmeans.GenerateCensus(kmeans.DefaultCensusConfig().Scaled(s.kmeansScale()))
 		if err != nil {
 			return nil, err
 		}
-		km, err := kmeans.RunAsync(s.asyncCluster(), pts, KMeansPartitions, kmeans.DefaultConfig(0.01), opt)
-		if err != nil {
+		if err := addAsync("kmeans", func(o async.Options) (*async.RunStats, error) {
+			r, err := kmeans.RunAsync(s.asyncCluster(), pts, KMeansPartitions, kmeans.DefaultConfig(0.01), o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Stats, nil
+		}); err != nil {
 			return nil, err
 		}
-		rows = append(rows, WorkloadRow{"kmeans", mode, km.Stats.MeanSteps, km.Stats.Duration.Seconds(), km.Stats.Converged})
 	default:
 		eager := mode == "eager"
 		pr, err := pagerank.Run(s.engine(), subs, pagerank.DefaultConfig(), eager)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, WorkloadRow{"pagerank", mode, float64(pr.Stats.GlobalIterations), pr.Stats.Duration.Seconds(), pr.Stats.Converged})
+		rows = append(rows, WorkloadRow{Workload: "pagerank", Mode: mode, Iterations: float64(pr.Stats.GlobalIterations), SimSeconds: pr.Stats.Duration.Seconds(), Converged: pr.Stats.Converged})
 		sp, err := sssp.Run(s.engine(), subs, sssp.Config{Source: 0}, eager)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, WorkloadRow{"sssp", mode, float64(sp.Stats.GlobalIterations), sp.Stats.Duration.Seconds(), sp.Stats.Converged})
+		rows = append(rows, WorkloadRow{Workload: "sssp", Mode: mode, Iterations: float64(sp.Stats.GlobalIterations), SimSeconds: sp.Stats.Duration.Seconds(), Converged: sp.Stats.Converged})
 		pts, err := kmeans.GenerateCensus(kmeans.DefaultCensusConfig().Scaled(s.kmeansScale()))
 		if err != nil {
 			return nil, err
@@ -450,7 +492,7 @@ func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) 
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, WorkloadRow{"kmeans", mode, float64(km.Stats.GlobalIterations), km.Stats.Duration.Seconds(), km.Stats.Converged})
+		rows = append(rows, WorkloadRow{Workload: "kmeans", Mode: mode, Iterations: float64(km.Stats.GlobalIterations), SimSeconds: km.Stats.Duration.Seconds(), Converged: km.Stats.Converged})
 	}
 	return rows, nil
 }
@@ -474,4 +516,21 @@ func RenderWorkloadRows(w io.Writer, rows []WorkloadRow, staleness string) {
 		fmt.Fprintf(w, "%-12s %14.1f %14.1f %10v\n", r.Workload, r.Iterations, r.SimSeconds, r.Converged)
 	}
 	fmt.Fprintln(w)
+	// Async rows carry the runtime's full counters: render the
+	// canonical full-fidelity view instead of a hand-picked subset.
+	for _, r := range rows {
+		if r.Stats != nil {
+			fmt.Fprintf(w, "%s %s\n", r.Workload, r.Stats)
+		}
+	}
+	// Traced rows additionally get the aggregated event profile — the
+	// per-partition decomposition and blocking edges the counters
+	// cannot attribute.
+	for _, r := range rows {
+		if r.Trace != nil {
+			fmt.Fprintf(w, "%s ", r.Workload)
+			r.Trace.WriteTable(w)
+			fmt.Fprintln(w)
+		}
+	}
 }

@@ -56,6 +56,13 @@ type Suite struct {
 	// (nil = none). The CLI's -ckpt flag sets it
 	// (none | steps:K | interval:SECONDS).
 	CheckpointPolicy recovery.Policy
+	// TracePath, when non-empty, attaches an event recorder
+	// (internal/trace) to each async/live workload run and writes one
+	// Chrome trace-event file per workload, splicing the workload name
+	// before the extension ("out.json" -> "out.pagerank.json"). The
+	// CLI's -trace flag sets it. Tracing is inert: recorded runs
+	// produce bit-identical stats and results.
+	TracePath string
 	// MaxSweepPoints caps how many partition counts a sweep visits
 	// (0 = all). Tests trim the sweep so the full-pipeline assertions
 	// run in seconds; benches and the CLI keep the complete axis.

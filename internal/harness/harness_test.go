@@ -2,10 +2,14 @@ package harness
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/async"
+	"repro/internal/trace"
 )
 
 // suite at heavy scale reduction: full experiment pipeline wiring is
@@ -618,6 +622,114 @@ func TestFigureRecoverySweep(t *testing.T) {
 			if pf.Series[i].Y[j] != y {
 				t.Fatalf("parallel executor diverged on %s[%d]: %g vs %g", ser.Label, j, pf.Series[i].Y[j], y)
 			}
+		}
+	}
+}
+
+// TestRunWorkloadsTraced pins the suite's tracing plumbing: with
+// TracePath set, every async workload writes a valid Chrome
+// trace-event file (workload spliced before the extension), the rows
+// carry full stats and an aggregated profile, and the rendering prints
+// both. The same sweep re-run untraced must report identical stats —
+// the inertness contract at harness granularity.
+func TestRunWorkloadsTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	traceDir := t.TempDir()
+	s.TracePath = filepath.Join(traceDir, "run.json")
+	rows, err := s.RunWorkloads("async", 2)
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	s.TracePath = ""
+	plain, err := s.RunWorkloads("async", 2)
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+	if len(rows) != len(plain) {
+		t.Fatalf("traced %d rows vs untraced %d", len(rows), len(plain))
+	}
+	for i, r := range rows {
+		if r.Stats == nil || r.Trace == nil {
+			t.Fatalf("%s: traced row missing stats/profile: %+v", r.Workload, r)
+		}
+		if !reflect.DeepEqual(*r.Stats, *plain[i].Stats) {
+			t.Errorf("%s: tracing perturbed the run:\ntraced:   %+v\nuntraced: %+v",
+				r.Workload, *r.Stats, *plain[i].Stats)
+		}
+		path := filepath.Join(traceDir, "run."+r.Workload+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: trace file: %v", r.Workload, err)
+		}
+		if n, err := trace.ValidateChrome(data); err != nil || n == 0 {
+			t.Fatalf("%s: invalid trace file (%d events): %v", r.Workload, n, err)
+		}
+		if r.Trace.Events == 0 {
+			t.Fatalf("%s: empty profile", r.Workload)
+		}
+	}
+	var buf bytes.Buffer
+	RenderWorkloadRows(&buf, rows, "2")
+	for _, want := range []string{"RunStats{", "trace profile", "GateWaits:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("traced rendering missing %q:\n%s", want, buf.String())
+		}
+	}
+	// MapReduce rows carry no async stats and render without the blocks.
+	genRows, err := s.RunWorkloads("general", 0)
+	if err != nil {
+		t.Fatalf("general run: %v", err)
+	}
+	buf.Reset()
+	RenderWorkloadRows(&buf, genRows, "")
+	if strings.Contains(buf.String(), "RunStats{") {
+		t.Fatalf("general rendering grew async stats blocks:\n%s", buf.String())
+	}
+}
+
+// TestTraceExperiment pins the trace experiment: all three executors
+// run traced, the profile tables print, the figure carries one point
+// per executor, and the experiment's built-in DES inertness check
+// passes.
+func TestTraceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	s := testSuite()
+	var buf bytes.Buffer
+	f, err := s.TraceExperiment(&buf)
+	if err != nil {
+		t.Fatalf("TraceExperiment: %v", err)
+	}
+	if len(f.X) != 3 {
+		t.Fatalf("figure has %d points, want one per executor", len(f.X))
+	}
+	for _, series := range f.Series {
+		if len(series.Y) != 3 {
+			t.Fatalf("series %s has %d points, want 3", series.Label, len(series.Y))
+		}
+	}
+	// Every executor recorded events; DES and Parallel decompose the
+	// same virtual trajectory, so their traced compute must agree.
+	events := f.Series[3]
+	if events.Label != "Events" {
+		t.Fatalf("series order changed: %+v", f.Series)
+	}
+	for i, n := range events.Y {
+		if n == 0 {
+			t.Fatalf("executor %s recorded no events", f.XFmt(float64(i)))
+		}
+	}
+	compute := f.Series[0].Y
+	if compute[0] != compute[1] {
+		t.Fatalf("DES and Parallel traced compute diverged: %v vs %v", compute[0], compute[1])
+	}
+	for _, want := range []string{"--- DES executor ---", "--- Parallel executor ---", "--- Live executor ---", "trace profile"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, buf.String())
 		}
 	}
 }

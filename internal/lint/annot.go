@@ -17,6 +17,7 @@ const (
 	annotAtomic        = "atomic"
 	annotPool          = "pool"
 	annotMeasured      = "measured"
+	annotTraced        = "traced"
 	annotUnorderedOK   = "unordered-ok"
 	annotMutable       = "mutable"
 )

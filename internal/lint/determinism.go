@@ -16,13 +16,19 @@ import (
 //
 // Functions declared //async:measured are the live executor's waiver:
 // their job is to observe real elapsed time (measured step costs), so
-// wall-clock reads are legal inside them. The waiver is scoped to the
-// clock — measured code is still bound by the randomness, map-order,
-// and goroutine-spawn rules.
+// wall-clock reads are legal inside them. //async:traced is the trace
+// layer's variant of the same waiver: hook functions that stamp events
+// with monotonic wall time may read the clock, on the package's
+// promise that the observation is only recorded, never consulted (the
+// inertness contract asynctest.CheckTraceInert enforces dynamically).
+// Both waivers are scoped to the clock — measured and traced code is
+// still bound by the randomness, map-order, and goroutine-spawn
+// rules.
 var DeterminismAnalyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock time, global math/rand, unordered map iteration, " +
-		"and bare go statements in //async:deterministic packages",
+		"and bare go statements in //async:deterministic packages " +
+		"(//async:measured and //async:traced waive the clock rule per function)",
 	Run: runDeterminism,
 }
 
@@ -56,7 +62,7 @@ func runDeterminism(pass *analysis.Pass) (any, error) {
 		lines := fileAnnotLines(pass.Fset, f)
 		for _, decl := range f.Decls {
 			fd, isFunc := decl.(*ast.FuncDecl)
-			measured := isFunc && groupHas(fd.Doc, annotMeasured)
+			measured := isFunc && (groupHas(fd.Doc, annotMeasured) || groupHas(fd.Doc, annotTraced))
 			ast.Inspect(decl, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.SelectorExpr:

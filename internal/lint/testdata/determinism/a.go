@@ -73,5 +73,26 @@ func measuredSpawn(work func()) int {
 	return rand.Int() // want `rand.Int draws from process-global randomness`
 }
 
+// tracedStamp is the trace layer's waiver: an //async:traced function
+// records a wall-clock observation into an external buffer without
+// consulting it, so clock reads are legal inside it.
+//
+//async:traced
+func tracedStamp(events []time.Duration) []time.Duration {
+	return append(events, time.Since(time.Now())) // no diagnostic: traced context
+}
+
+// Like measured, the traced waiver covers only the clock.
+//
+//async:traced
+func tracedSpawn(work func(), m map[int]int) int {
+	go work() // want `bare go statement in deterministic engine code`
+	n := 0
+	for range m { // want `map iteration order is unspecified`
+		n++
+	}
+	return n + rand.Int() // want `rand.Int draws from process-global randomness`
+}
+
 // Silence unused-function vetting in the example package.
-var _ = []any{wallClock, virtualOnly, globalRand, localRand, mapIteration, spawn, measuredCost, measuredSpawn}
+var _ = []any{wallClock, virtualOnly, globalRand, localRand, mapIteration, spawn, measuredCost, measuredSpawn, tracedStamp, tracedSpawn}

@@ -301,3 +301,21 @@ func TestAsyncLiveMatchesDES(t *testing.T) {
 	}
 	asynctest.CheckLiveMatchesDES(t, asynctest.Stalenesses(), 1e-3, dist, asyncParityRunner(t))
 }
+
+// TestAsyncTraceInert: attaching a trace.Recorder must not change the
+// run — bit-identical stats and ranks on DES and parallel (including
+// under crashes and adaptive staleness), and the DES-oracle tolerance
+// contract under the live executor (shared harness: asynctest).
+func TestAsyncTraceInert(t *testing.T) {
+	dist := func(des, live any) float64 {
+		a, b := des.([]float64), live.([]float64)
+		var d float64
+		for i := range a {
+			if x := math.Abs(a[i] - b[i]); x > d {
+				d = x
+			}
+		}
+		return d
+	}
+	asynctest.CheckTraceInert(t, asynctest.Stalenesses(), 1e-3, dist, asyncParityRunner(t))
+}

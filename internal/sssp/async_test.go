@@ -151,3 +151,11 @@ func TestAsyncValidation(t *testing.T) {
 func TestAsyncLiveMatchesDES(t *testing.T) {
 	asynctest.CheckLiveMatchesDES(t, asynctest.Stalenesses(), 0, nil, asyncParityRunner(t))
 }
+
+// TestAsyncTraceInert: attaching a trace.Recorder must not change the
+// run — bit-identical stats and distances on DES and parallel, exact
+// DES-oracle parity under the live executor (SSSP is monotone; shared
+// harness: asynctest).
+func TestAsyncTraceInert(t *testing.T) {
+	asynctest.CheckTraceInert(t, asynctest.Stalenesses(), 0, nil, asyncParityRunner(t))
+}

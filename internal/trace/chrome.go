@@ -1,0 +1,155 @@
+// Chrome-trace-event exporter: renders a recorded event stream as the
+// JSON trace-event format chrome://tracing and Perfetto load, one
+// timeline track (tid) per partition. Steps, gate waits, recoveries,
+// and checkpoints become complete ("X") spans — gate spans carry the
+// blocking neighbor and awaited version in args, which is the
+// attribution view the end-of-run aggregates cannot give — while
+// publishes, speculation transitions, crashes, and steals are thread
+// instants and adaptive bound changes are counter ("C") series.
+//
+// Output is byte-deterministic for a given event stream (fixed field
+// order, fixed float formatting, no map iteration), which is what the
+// golden-file tests pin.
+
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Domain selects which timestamp an export lays events out by.
+type Domain int
+
+const (
+	// Virtual uses Event.Vt: the deterministic virtual clock (under
+	// the live executor, its measured elapsed-seconds time base).
+	Virtual Domain = iota
+	// Wall uses Event.Wall: recorder-stamped monotonic wall time,
+	// meaningful when the recorder was armed via StartWall.
+	Wall
+)
+
+func (d Domain) String() string {
+	if d == Wall {
+		return "wall"
+	}
+	return "virtual"
+}
+
+// ts converts an event's selected timestamp to trace-format
+// microseconds with fixed (golden-stable) formatting.
+func (d Domain) ts(e Event) string {
+	t := e.Vt
+	if d == Wall {
+		t = e.Wall
+	}
+	return strconv.FormatFloat(float64(t)*1e6, 'f', 3, 64)
+}
+
+// spanStart back-dates an end-stamped span by its duration, clamped at
+// the origin: fault durations are virtual-domain quantities, so a
+// wall-domain layout of a synthetic stream must not go negative.
+func spanStart(end, dur float64) float64 {
+	if s := end - dur; s > 0 {
+		return s
+	}
+	return 0
+}
+
+func usec(t float64) string {
+	return strconv.FormatFloat(t*1e6, 'f', 3, 64)
+}
+
+// openSpan tracks an unmatched start event per partition while pairing.
+type openSpan struct {
+	at   float64 // selected-domain start time, seconds
+	step int32
+	a, b int64
+	open bool
+}
+
+// WriteChrome writes the events as a Chrome trace-event JSON document
+// laid out in the given time domain. Events arrive oldest-first (as
+// Recorder.Events returns them); span pairing relies on that order.
+// dropped is surfaced in otherData so a wrapped ring is visible in the
+// viewer.
+func WriteChrome(w io.Writer, events []Event, d Domain, dropped uint64) error {
+	bw := bufio.NewWriter(w)
+	maxPart := -1
+	for _, e := range events {
+		if int(e.Part) > maxPart {
+			maxPart = int(e.Part)
+		}
+	}
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"domain\":%q,\"events\":%d,\"dropped\":%d},\"traceEvents\":[\n",
+		d.String(), len(events), dropped)
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	for p := 0; p <= maxPart; p++ {
+		emit(fmt.Sprintf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"partition %d\"}}", p, p))
+	}
+
+	steps := make([]openSpan, maxPart+1)
+	gates := make([]openSpan, maxPart+1)
+	at := func(e Event) float64 {
+		if d == Wall {
+			return float64(e.Wall)
+		}
+		return float64(e.Vt)
+	}
+	for _, e := range events {
+		p := int(e.Part)
+		switch e.Kind {
+		case KindStepStart:
+			steps[p] = openSpan{at: at(e), step: e.Step, open: true}
+		case KindStepEnd:
+			if s := steps[p]; s.open {
+				steps[p].open = false
+				emit(fmt.Sprintf("{\"name\":\"step %d\",\"cat\":\"step\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"step\":%d,\"cost\":%s}}",
+					s.step, p, usec(s.at), usec(at(e)-s.at), s.step, strconv.FormatFloat(float64(e.Dur), 'f', 9, 64)))
+			}
+		case KindGateBegin:
+			gates[p] = openSpan{at: at(e), step: e.Step, a: e.Arg1, b: e.Arg2, open: true}
+		case KindGateRelease:
+			if g := gates[p]; g.open {
+				gates[p].open = false
+				emit(fmt.Sprintf("{\"name\":\"gate p%d v%d\",\"cat\":\"gate\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"blockedOn\":%d,\"awaited\":%d,\"releasedBy\":%d}}",
+					g.a, g.b, p, usec(g.at), usec(at(e)-g.at), g.a, g.b, e.Arg1))
+			}
+		case KindPublish:
+			emit(fmt.Sprintf("{\"name\":\"publish v%d\",\"cat\":\"publish\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"args\":{\"version\":%d,\"bytes\":%d,\"visibleIn\":%s}}",
+				e.Arg1, p, d.ts(e), e.Arg1, e.Arg2, strconv.FormatFloat(float64(e.Dur), 'f', 9, 64)))
+		case KindSpecDispatch, KindSpecCommit, KindSpecInvalidate:
+			emit(fmt.Sprintf("{\"name\":%q,\"cat\":\"spec\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"args\":{\"step\":%d}}",
+				e.Kind.String(), p, d.ts(e), e.Step))
+		case KindCrash:
+			emit(fmt.Sprintf("{\"name\":\"crash\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"args\":{\"step\":%d}}",
+				p, d.ts(e), e.Step))
+		case KindRecovery:
+			start := spanStart(at(e), float64(e.Dur))
+			emit(fmt.Sprintf("{\"name\":\"recovery\",\"cat\":\"fault\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"replayedSteps\":%d}}",
+				p, usec(start), usec(float64(e.Dur)), e.Arg1))
+		case KindCheckpoint:
+			start := spanStart(at(e), float64(e.Dur))
+			emit(fmt.Sprintf("{\"name\":\"checkpoint\",\"cat\":\"fault\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"bytes\":%d}}",
+				p, usec(start), usec(float64(e.Dur)), e.Arg1))
+		case KindAdaptBound:
+			emit(fmt.Sprintf("{\"name\":\"bound p%d\",\"ph\":\"C\",\"pid\":0,\"ts\":%s,\"args\":{\"S\":%d}}",
+				p, d.ts(e), e.Arg1))
+		case KindSteal:
+			emit(fmt.Sprintf("{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"args\":{\"worker\":%d}}",
+				p, d.ts(e), e.Arg1))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

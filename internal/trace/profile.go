@@ -1,0 +1,172 @@
+// Profile is the aggregation pass over a recorded event stream: the
+// per-partition time breakdown (compute / gate / checkpoint / recovery
+// / stall shares) and the top blocking edges (which neighbor a gated
+// worker was parked on, and for how long) that end-of-run RunStats
+// aggregates cannot attribute. The CLI prints it next to the Chrome
+// export; figures and tests consume the struct directly.
+
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// PartProfile is one partition's share breakdown.
+type PartProfile struct {
+	Part        int
+	Steps       int
+	Compute     simtime.Duration // summed step costs (measured, under live)
+	GateWait    simtime.Duration // summed paired gate-wait spans
+	Checkpoint  simtime.Duration
+	Recovery    simtime.Duration
+	Stall       simtime.Duration // span minus every accounted share (idle/queue time)
+	Publishes   int
+	Speculated  int // spec commits (parallel executor)
+	Invalidated int // spec invalidations
+	Steals      int // live-executor migrations of this partition's steps
+}
+
+// BlockEdge aggregates the gate waits of one (waiter, blocker) pair.
+type BlockEdge struct {
+	Waiter, Blocker int
+	Wait            simtime.Duration
+	Count           int
+}
+
+// Profile is the aggregate view of one recorded run.
+type Profile struct {
+	// Span is the latest event timestamp (virtual domain) — the
+	// traced horizon all stall shares are measured against.
+	Span    simtime.Duration
+	Events  int
+	Dropped uint64
+	Parts   []PartProfile
+	// Edges lists blocking edges by descending total wait.
+	Edges []BlockEdge
+}
+
+// NewProfile aggregates an oldest-first event stream (as
+// Recorder.Events returns it).
+func NewProfile(events []Event, dropped uint64) *Profile {
+	maxPart := -1
+	for _, e := range events {
+		if int(e.Part) > maxPart {
+			maxPart = int(e.Part)
+		}
+	}
+	n := maxPart + 1
+	pr := &Profile{Events: len(events), Dropped: dropped, Parts: make([]PartProfile, n)}
+	for p := range pr.Parts {
+		pr.Parts[p].Part = p
+	}
+	// Flat (waiter, blocker) matrix instead of a map: partition counts
+	// are small, and extraction stays deterministic without ranging
+	// over map order.
+	edges := make([]BlockEdge, n*n)
+	gateAt := make([]simtime.Duration, n)
+	gateOn := make([]int, n)
+	gateOpen := make([]bool, n)
+	for _, e := range events {
+		p := int(e.Part)
+		if e.Vt > pr.Span {
+			pr.Span = e.Vt
+		}
+		pp := &pr.Parts[p]
+		switch e.Kind {
+		case KindStepEnd:
+			pp.Steps++
+			pp.Compute += e.Dur
+		case KindGateBegin:
+			gateAt[p], gateOn[p], gateOpen[p] = e.Vt, int(e.Arg1), true
+		case KindGateRelease:
+			if gateOpen[p] {
+				gateOpen[p] = false
+				d := e.Vt - gateAt[p]
+				if d < 0 {
+					d = 0
+				}
+				pp.GateWait += d
+				if b := gateOn[p]; b >= 0 && b < n {
+					ed := &edges[p*n+b]
+					ed.Waiter, ed.Blocker = p, b
+					ed.Wait += d
+					ed.Count++
+				}
+			}
+		case KindPublish:
+			pp.Publishes++
+		case KindSpecCommit:
+			pp.Speculated++
+		case KindSpecInvalidate:
+			pp.Invalidated++
+		case KindCheckpoint:
+			pp.Checkpoint += e.Dur
+		case KindRecovery:
+			pp.Recovery += e.Dur
+		case KindSteal:
+			pp.Steals++
+		}
+	}
+	for p := range pr.Parts {
+		pp := &pr.Parts[p]
+		pp.Stall = pr.Span - pp.Compute - pp.GateWait - pp.Checkpoint - pp.Recovery
+		if pp.Stall < 0 {
+			pp.Stall = 0
+		}
+	}
+	for _, ed := range edges {
+		if ed.Count > 0 {
+			pr.Edges = append(pr.Edges, ed)
+		}
+	}
+	sort.Slice(pr.Edges, func(i, j int) bool {
+		if pr.Edges[i].Wait != pr.Edges[j].Wait {
+			return pr.Edges[i].Wait > pr.Edges[j].Wait
+		}
+		if pr.Edges[i].Waiter != pr.Edges[j].Waiter {
+			return pr.Edges[i].Waiter < pr.Edges[j].Waiter
+		}
+		return pr.Edges[i].Blocker < pr.Edges[j].Blocker
+	})
+	return pr
+}
+
+// TopEdges returns at most k blocking edges by descending total wait.
+func (pr *Profile) TopEdges(k int) []BlockEdge {
+	if k > len(pr.Edges) {
+		k = len(pr.Edges)
+	}
+	return pr.Edges[:k]
+}
+
+// WriteTable renders the per-partition breakdown and top blocking
+// edges as an aligned text table.
+func (pr *Profile) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "trace profile: %d events (%d dropped), span %v\n", pr.Events, pr.Dropped, pr.Span)
+	fmt.Fprintf(w, "%5s %6s %10s %10s %10s %10s %10s %5s %5s %6s %6s\n",
+		"part", "steps", "compute", "gate", "ckpt", "recov", "stall", "pub", "spec", "inval", "steal")
+	for _, pp := range pr.Parts {
+		fmt.Fprintf(w, "%5d %6d %10.4f %10.4f %10.4f %10.4f %10.4f %5d %5d %6d %6d\n",
+			pp.Part, pp.Steps, float64(pp.Compute), float64(pp.GateWait), float64(pp.Checkpoint),
+			float64(pp.Recovery), float64(pp.Stall), pp.Publishes, pp.Speculated, pp.Invalidated, pp.Steals)
+	}
+	top := pr.TopEdges(8)
+	if len(top) > 0 {
+		fmt.Fprintf(w, "top blocking edges (waiter <- blocker):\n")
+		for _, ed := range top {
+			fmt.Fprintf(w, "  p%d <- p%d: %v over %d waits\n", ed.Waiter, ed.Blocker, ed.Wait, ed.Count)
+		}
+	}
+}
+
+// String renders WriteTable to a string.
+func (pr *Profile) String() string {
+	var sb strings.Builder
+	pr.WriteTable(&sb)
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestNilRecorderSafe pins the off switch: every method must be a
+// no-op on a nil receiver, since hook sites call unconditionally.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(KindStepStart, 0, 0, 0, 0, 0, 0)
+	r.StartWall()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder reported retained events")
+	}
+}
+
+// TestRecorderOrder pins basic append/retrieve ordering below the
+// wraparound threshold.
+func TestRecorderOrder(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(KindStepStart, i, i, simtime.Duration(i), int64(i), 0, 0)
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 5, 0", r.Len(), r.Dropped())
+	}
+	for i, e := range r.Events() {
+		if int(e.Part) != i || e.Vt != simtime.Duration(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}
+
+// TestRecorderWraparound pins the ring's overflow semantics: capacity
+// is fixed, the oldest events are overwritten, Dropped counts them,
+// and Events returns the retained window oldest-first.
+func TestRecorderWraparound(t *testing.T) {
+	const capacity, total = 16, 100
+	r := NewRecorder(capacity)
+	for i := 0; i < total; i++ {
+		r.Emit(KindStepEnd, i, i, simtime.Duration(i), 0, 0, 0)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("Len=%d, want %d", r.Len(), capacity)
+	}
+	if want := uint64(total - capacity); r.Dropped() != want {
+		t.Fatalf("Dropped=%d, want %d", r.Dropped(), want)
+	}
+	events := r.Events()
+	if len(events) != capacity {
+		t.Fatalf("Events returned %d, want %d", len(events), capacity)
+	}
+	for i, e := range events {
+		if want := total - capacity + i; int(e.Part) != want {
+			t.Fatalf("retained window wrong: event %d is part %d, want %d", i, e.Part, want)
+		}
+	}
+
+	// Wrap exactly to a multiple of capacity: the window is the last
+	// `capacity` events, not an empty or doubled slice.
+	r2 := NewRecorder(4)
+	for i := 0; i < 8; i++ {
+		r2.Emit(KindPublish, i, 0, 0, 0, 0, 0)
+	}
+	ev := r2.Events()
+	if len(ev) != 4 || int(ev[0].Part) != 4 || int(ev[3].Part) != 7 {
+		t.Fatalf("exact-wrap window wrong: %+v", ev)
+	}
+}
+
+// TestRecorderTinyCapacity pins the clamp: a degenerate capacity still
+// yields a working one-slot ring.
+func TestRecorderTinyCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	r.Emit(KindCrash, 3, 1, 2, 0, 0, 0)
+	r.Emit(KindRecovery, 4, 2, 3, 0, 0, 0)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Kind != KindRecovery || r.Dropped() != 1 {
+		t.Fatalf("one-slot ring wrong: events %+v dropped %d", ev, r.Dropped())
+	}
+}
+
+// TestEmitZeroAlloc pins the tentpole's perf contract: steady-state
+// append allocates nothing (the ring is carved up front), with and
+// without wall stamping.
+func TestEmitZeroAlloc(t *testing.T) {
+	r := NewRecorder(1 << 10)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Emit(KindStepStart, 1, 2, 3, 4, 5, 6)
+	}); n != 0 {
+		t.Fatalf("Emit allocates %v/op, want 0", n)
+	}
+	r.StartWall()
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Emit(KindStepEnd, 1, 2, 3, 4, 5, 6)
+	}); n != 0 {
+		t.Fatalf("wall-stamped Emit allocates %v/op, want 0", n)
+	}
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRec.Emit(KindStepStart, 1, 2, 3, 4, 5, 6)
+	}); n != 0 {
+		t.Fatalf("nil Emit allocates %v/op, want 0", n)
+	}
+}
+
+// TestRecorderConcurrent exercises concurrent emission (the live
+// executor's pool workers emit directly); run under -race in CI.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(1 << 12)
+	r.StartWall()
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit(KindSteal, w, i, simtime.Duration(i), int64(w), 0, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len()+int(r.Dropped()) != workers*per {
+		t.Fatalf("retained %d + dropped %d != emitted %d", r.Len(), r.Dropped(), workers*per)
+	}
+}
+
+// TestWallStamping pins that StartWall arms monotone wall stamps.
+func TestWallStamping(t *testing.T) {
+	r := NewRecorder(8)
+	r.Emit(KindStepStart, 0, 0, 1, 0, 0, 0)
+	r.StartWall()
+	r.Emit(KindStepEnd, 0, 0, 2, 0, 0, 0)
+	ev := r.Events()
+	if ev[0].Wall != 0 {
+		t.Fatalf("pre-StartWall event carries wall stamp %v", ev[0].Wall)
+	}
+	if ev[1].Wall < 0 {
+		t.Fatalf("armed event carries negative wall stamp %v", ev[1].Wall)
+	}
+}
+
+// TestKindStrings pins that every declared kind has a name (the
+// exporter embeds them in event titles).
+func TestKindStrings(t *testing.T) {
+	for k := KindNone; k < kindCount; k++ {
+		if s := k.String(); s == "" || strings.Contains(s, "?") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "kind(?)" {
+		t.Fatalf("out-of-range kind not flagged")
+	}
+}

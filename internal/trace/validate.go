@@ -1,0 +1,90 @@
+// ValidateChrome is the schema check the CI trace-smoke job runs over
+// CLI-emitted trace files: it re-parses the JSON and verifies every
+// event satisfies the trace-event-format contract the exporter
+// promises (known phase letters, required fields per phase,
+// non-negative timestamps and durations).
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type chromeDoc struct {
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+	OtherData       chromeOtherData `json:"otherData"`
+	TraceEvents     []chromeEvent   `json:"traceEvents"`
+}
+
+type chromeOtherData struct {
+	Domain  string `json:"domain"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+}
+
+type chromeEvent struct {
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   string   `json:"ph"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	S    string   `json:"s"`
+}
+
+// ValidateChrome parses data as a Chrome trace-event JSON document and
+// returns the number of trace events, or an error describing the first
+// contract violation.
+func ValidateChrome(data []byte) (int, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		return 0, fmt.Errorf("trace: displayTimeUnit %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData.Domain != "virtual" && doc.OtherData.Domain != "wall" {
+		return 0, fmt.Errorf("trace: unknown domain %q", doc.OtherData.Domain)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace: no trace events")
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return 0, fmt.Errorf("trace: event %d has no name", i)
+		}
+		if e.Pid == nil {
+			return 0, fmt.Errorf("trace: event %d (%s) has no pid", i, e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			// Metadata events carry no timestamp.
+		case "X":
+			if e.Ts == nil || e.Dur == nil {
+				return 0, fmt.Errorf("trace: complete event %d (%s) missing ts/dur", i, e.Name)
+			}
+			if *e.Ts < 0 || *e.Dur < 0 {
+				return 0, fmt.Errorf("trace: complete event %d (%s) has negative ts/dur", i, e.Name)
+			}
+			if e.Tid == nil {
+				return 0, fmt.Errorf("trace: complete event %d (%s) has no tid", i, e.Name)
+			}
+		case "i":
+			if e.Ts == nil || *e.Ts < 0 {
+				return 0, fmt.Errorf("trace: instant event %d (%s) missing or negative ts", i, e.Name)
+			}
+			if e.S != "t" && e.S != "p" && e.S != "g" {
+				return 0, fmt.Errorf("trace: instant event %d (%s) has bad scope %q", i, e.Name, e.S)
+			}
+		case "C":
+			if e.Ts == nil || *e.Ts < 0 {
+				return 0, fmt.Errorf("trace: counter event %d (%s) missing or negative ts", i, e.Name)
+			}
+		default:
+			return 0, fmt.Errorf("trace: event %d (%s) has unknown phase %q", i, e.Name, e.Ph)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

@@ -32,14 +32,15 @@ import "sync"
 type Pool[T any] struct {
 	run func(worker int, item T)
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queues [][]T // per-worker FIFO run queues
-	next   int   // round-robin cursor for Submit placement
-	idle   int   // workers parked in cond.Wait
-	steals int64
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]T // per-worker FIFO run queues
+	next    int   // round-robin cursor for Submit placement
+	idle    int   // workers parked in cond.Wait
+	steals  int64
+	onSteal func(worker int, item T)
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // New starts a pool of workers goroutines (at least 1) that each run
@@ -72,6 +73,17 @@ func (p *Pool[T]) Steals() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.steals
+}
+
+// SetStealHook installs an observer invoked (on the stealing worker's
+// goroutine, after the pool mutex is released, before the item runs)
+// whenever a worker executes an item stolen from another queue. The
+// live executor's trace layer uses it to attribute migrations. Install
+// before items are submitted; a nil hook (the default) costs nothing.
+func (p *Pool[T]) SetStealHook(hook func(worker int, item T)) {
+	p.mu.Lock()
+	p.onSteal = hook
+	p.mu.Unlock()
 }
 
 // Submit enqueues item on the next queue in round-robin order and wakes
@@ -121,8 +133,12 @@ func (p *Pool[T]) worker(w int) {
 	defer p.wg.Done()
 	p.mu.Lock()
 	for {
-		if item, ok := p.grabLocked(w); ok {
+		if item, stolen, ok := p.grabLocked(w); ok {
+			hook := p.onSteal
 			p.mu.Unlock()
+			if stolen && hook != nil {
+				hook(w, item)
+			}
 			p.run(w, item)
 			p.mu.Lock()
 			continue
@@ -138,9 +154,9 @@ func (p *Pool[T]) worker(w int) {
 }
 
 // grabLocked takes the next item for worker w: the head of its own
-// queue, else the tail of the longest other queue (a steal). Caller
+// queue, else the tail of the longest other queue (stolen=true). Caller
 // holds p.mu.
-func (p *Pool[T]) grabLocked(w int) (item T, ok bool) {
+func (p *Pool[T]) grabLocked(w int) (item T, stolen, ok bool) {
 	if q := p.queues[w]; len(q) > 0 {
 		item = q[0]
 		var zero T
@@ -151,7 +167,7 @@ func (p *Pool[T]) grabLocked(w int) (item T, ok bool) {
 			// slice does not creep through memory forever.
 			p.queues[w] = q[:0]
 		}
-		return item, true
+		return item, false, true
 	}
 	victim, best := -1, 0
 	for i := range p.queues {
@@ -160,7 +176,7 @@ func (p *Pool[T]) grabLocked(w int) (item T, ok bool) {
 		}
 	}
 	if victim < 0 {
-		return item, false
+		return item, false, false
 	}
 	q := p.queues[victim]
 	item = q[len(q)-1]
@@ -168,5 +184,5 @@ func (p *Pool[T]) grabLocked(w int) (item T, ok bool) {
 	q[len(q)-1] = zero
 	p.queues[victim] = q[:len(q)-1]
 	p.steals++
-	return item, true
+	return item, true, true
 }

@@ -2,7 +2,7 @@
 # alloc_guard.sh — benchmem regression guard for the async runtime's
 # hot paths.
 #
-# Guards two budgets:
+# Guards eight budgets:
 #
 #   1. The crash-free speculated step path
 #      (BenchmarkAsyncParallel/pagerank/parallel, ~100% of whose steps
@@ -49,11 +49,19 @@
 #      so the threshold 3000 carries extra headroom for step-count
 #      variance across real interleavings.
 #
+#   8. The traced speculated path (BenchmarkAsyncTraced/pagerank/parallel:
+#      the same workload as row 1 with the event recorder attached,
+#      every hook firing into the preallocated ring). Steady-state
+#      appends allocate nothing (TestEmitZeroAlloc), so the only extra
+#      allocation is the per-run ring itself: ~1.8K allocs/op, within
+#      noise of the untraced row. Threshold 2750 — the tentpole's
+#      "within ~10% of the trace-off budget" bound.
+#
 # Except for the live row, runs are deterministic, so allocs/op is
 # stable across machines; the thresholds leave headroom for runtime/GC
 # bookkeeping noise.
 #
-# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs] [max_adaptive_allocs] [max_kmeans_allocs] [max_cc_allocs] [max_modes_allocs] [max_live_allocs]
+# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs] [max_adaptive_allocs] [max_kmeans_allocs] [max_cc_allocs] [max_modes_allocs] [max_live_allocs] [max_traced_allocs]
 set -eu
 
 max=${1:-2500}
@@ -63,6 +71,7 @@ max_kmeans=${4:-2500}
 max_cc=${5:-2500}
 max_modes=${6:-3000000}
 max_live=${7:-3000}
+max_traced=${8:-2750}
 cd "$(dirname "$0")/.."
 
 check() {
@@ -91,3 +100,4 @@ check 'BenchmarkAsyncParallel/kmeans/parallel' "$max_kmeans"
 check 'BenchmarkAsyncParallel/cc/parallel' "$max_cc"
 check 'BenchmarkAsyncModesPageRank' "$max_modes"
 check 'BenchmarkAsyncLive/pagerank/S=0' "$max_live"
+check 'BenchmarkAsyncTraced/pagerank/parallel' "$max_traced"

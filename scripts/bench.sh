@@ -8,8 +8,51 @@
 # landed, so it has no BenchmarkAsyncLive rows; re-run this script as
 # scripts/bench.sh BENCH_PRn.json to extend the trajectory.
 #
+# A second mode diffs two recorded baselines:
+#
+#   scripts/bench.sh --compare OLD.json NEW.json
+#
+# prints per-benchmark ns/op and allocs/op deltas (no jq — the JSON the
+# record mode writes is line-structured enough for awk).
+#
 # Usage: scripts/bench.sh [output.json] [benchtime]
+#        scripts/bench.sh --compare OLD.json NEW.json
 set -eu
+
+if [ "${1:-}" = "--compare" ]; then
+	old=${2:?usage: bench.sh --compare OLD.json NEW.json}
+	new=${3:?usage: bench.sh --compare OLD.json NEW.json}
+	# Each benchmark is one `"name": {"iters": N, "ns/op": N, ...}` line;
+	# pull the two metrics per file and join on the benchmark name.
+	awk -v oldfile="$old" -v newfile="$new" '
+	function metric(line, name,   pat, rest) {
+		pat = "\"" name "\": "
+		if (match(line, pat) == 0) return ""
+		rest = substr(line, RSTART + RLENGTH)
+		sub(/[,}].*/, "", rest)
+		return rest
+	}
+	/^    "Benchmark/ {
+		name = $1
+		gsub(/[":]/, "", name)
+		ns = metric($0, "ns/op"); al = metric($0, "allocs/op")
+		if (FILENAME == oldfile) { oldns[name] = ns; oldal[name] = al }
+		else { newns[name] = ns; newal[name] = al; if (!(name in seen)) { seen[name] = 1; order[++n] = name } }
+	}
+	END {
+		printf "%-44s %14s %14s %9s %12s %12s %9s\n", "benchmark", "ns/op(old)", "ns/op(new)", "d%", "allocs(old)", "allocs(new)", "d%"
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			if (!(name in oldns)) { printf "%-44s %14s\n", name, "(new)"; continue }
+			dns = (oldns[name] > 0) ? 100 * (newns[name] - oldns[name]) / oldns[name] : 0
+			dal = (oldal[name] > 0) ? 100 * (newal[name] - oldal[name]) / oldal[name] : 0
+			printf "%-44s %14d %14d %8.1f%% %12d %12d %8.1f%%\n", name, oldns[name], newns[name], dns, oldal[name], newal[name], dal
+		}
+		for (name in oldns) if (!(name in newns)) printf "%-44s %14s\n", name, "(removed)"
+	}
+	' "$old" "$new"
+	exit 0
+fi
 
 out=${1:-BENCH_PR9.json}
 benchtime=${2:-3x}
@@ -19,7 +62,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run xxx \
-	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$|BenchmarkAsyncAdaptive$|BenchmarkAsyncLive$' \
+	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$|BenchmarkAsyncAdaptive$|BenchmarkAsyncLive$|BenchmarkAsyncTraced$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
 # Parse `BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  0.5 metric`
