@@ -25,6 +25,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/kmeans"
 	"repro/internal/mapreduce"
+	"repro/internal/metrics"
 	"repro/internal/pagerank"
 	"repro/internal/partition"
 	"repro/internal/recovery"
@@ -627,6 +628,54 @@ func BenchmarkAsyncTraced(b *testing.B) {
 				b.Fatal("recorder captured no events")
 			}
 			b.ReportMetric(float64(rec.Len())+float64(rec.Dropped()), "events")
+		}
+	})
+}
+
+// BenchmarkAsyncSeries is BenchmarkAsyncTraced's workload with the
+// time-series sampler attached instead of the event recorder: the
+// speculated step path under fixed-interval sampling, every per-tick
+// capture (residuals, staleness occupancy, store versions) firing. Its
+// ns/op and allocs/op against the unsampled row measure the sampler's
+// whole overhead, which scripts/alloc_guard.sh bounds alongside the
+// recorder's. Parity with the unsampled trajectory is asserted, so the
+// row also re-proves sampling inertness at bench scale.
+func BenchmarkAsyncSeries(b *testing.B) {
+	const parallelScale = 4 // match BenchmarkAsyncParallel's workload
+	g := graph.MustGenerate(graph.GraphAConfig().Scaled(parallelScale))
+	a, err := partition.Partition(g, 16, partition.Options{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := graph.BuildSubGraphs(g, a.Parts, a.K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := async.Options{Staleness: harness.DefaultStaleness, Executor: async.Parallel}
+	base, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs,
+		pagerank.DefaultConfig(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	interval := base.Stats.Duration / 64
+	b.Run("pagerank/parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ser := metrics.NewSeries(interval, 0)
+			o := opt
+			o.Series = ser
+			res, err := pagerank.RunAsync(cluster.New(cluster.EC2LargeCluster()), subs,
+				pagerank.DefaultConfig(), o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Duration != base.Stats.Duration || res.Stats.Steps != base.Stats.Steps {
+				b.Fatalf("sampled run diverged from unsampled baseline: %v/%d vs %v/%d",
+					res.Stats.Duration, res.Stats.Steps, base.Stats.Duration, base.Stats.Steps)
+			}
+			if ser.Len() < 3 {
+				b.Fatalf("sampler captured only %d samples", ser.Len())
+			}
+			b.ReportMetric(float64(res.Stats.SeriesSamples), "samples")
 		}
 	})
 }

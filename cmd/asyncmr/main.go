@@ -8,7 +8,8 @@
 // Usage:
 //
 //	asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W]
-//	        [-mttf T] [-ckpt P] [-trace F] [-cpuprofile F] [-memprofile F] <experiment>
+//	        [-mttf T] [-ckpt P] [-trace F] [-series F] [-metrics-addr A]
+//	        [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments:
 //
@@ -44,6 +45,13 @@
 //	                   converge across checkpoint cadences under several
 //	                   failure regimes, with the checkpoint-write vs
 //	                   recovery-replay decomposition
+//	convergence        convergence-telemetry experiment: async PageRank
+//	                   sampled on a fixed grid (internal/metrics) under
+//	                   the S=0 lockstep baseline, the suite's async
+//	                   configuration on DES and parallel (series files
+//	                   byte-identical, checked), and the live executor,
+//	                   reporting each leg's time to the synchronous
+//	                   baseline's final residual
 //	trace              event-tracing experiment: async PageRank under
 //	                   all three executors with the recorder attached,
 //	                   printing each run's aggregated profile (compute /
@@ -90,6 +98,22 @@
 // gate-wait / stall decomposition and top blocking edges) is printed
 // with the run table.
 //
+// -series records a deterministic time series of each async/live
+// workload in `run` (internal/metrics; sampling is inert — results are
+// bit-identical with it on) and writes one series file per workload,
+// splicing the workload name before the extension ("out.csv" ->
+// "out.pagerank.csv"; a .csv extension selects the CSV writer, anything
+// else JSON). Each workload first runs an unsampled probe to size the
+// sampling grid from its duration.
+//
+// -metrics-addr serves the sampled series over HTTP while `run`
+// executes: GET /metrics is a Prometheus text-format snapshot of the
+// latest sample, GET /series.json the full series so far (the workload
+// currently running; each workload swaps its sampler in as it starts).
+// After the experiment the process lingers and keeps serving until
+// interrupted, so the final series stays scrapeable. Implies sampling
+// even without -series (no files are written then).
+//
 // -cpuprofile and -memprofile write pprof profiles of the selected
 // experiment, so the runtime's hot paths can be profiled on full-size
 // workloads outside `go test -bench`.
@@ -102,14 +126,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/adapt"
 	"repro/internal/async"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/recovery"
 )
 
@@ -129,11 +157,15 @@ func main() {
 		"worker checkpoint policy for async runs: none, steps:K or interval:SECONDS")
 	traceOut := flag.String("trace", "",
 		"record an event trace of each async/live workload in 'run' and write Chrome trace-event files at this path (workload name spliced before the extension)")
+	seriesOut := flag.String("series", "",
+		"record a deterministic time series of each async/live workload in 'run' and write one series file per workload at this path (workload name spliced before the extension; .csv = CSV, else JSON)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the sampled series over HTTP at this address during 'run' (/metrics Prometheus text, /series.json full series) and linger after the experiment; implies sampling")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-mttf T] [-ckpt P] [-trace F] [-cpuprofile F] [-memprofile F] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue adaptive adaptiveclue parallel parallelhpc livescaling recovery trace run all\n")
+		fmt.Fprintf(os.Stderr, "usage: asyncmr [-scale N] [-v] [-mode M] [-staleness S] [-parallel] [-workers W] [-mttf T] [-ckpt P] [-trace F] [-series F] [-metrics-addr A] [-cpuprofile F] [-memprofile F] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 figure2 figure3 figure4 figure5 figure6 figure7 figure8 figure9 scale asyncA asyncB staleness stalenessx stalenessclue adaptive adaptiveclue parallel parallelhpc livescaling recovery trace convergence run all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -167,6 +199,37 @@ func main() {
 	}
 	s.CheckpointPolicy = pol
 	s.TracePath = *traceOut
+	s.SeriesPath = *seriesOut
+
+	// -metrics-addr serves whichever workload is currently sampling:
+	// each sampler is swapped in as its run starts, and metrics.Series
+	// is safe for concurrent reads, so scrapes observe the live run.
+	var liveSeries atomic.Pointer[metrics.Series]
+	if *metricsAddr != "" {
+		s.SeriesHook = func(workload string, ser *metrics.Series) {
+			liveSeries.Store(ser)
+		}
+		ln, lerr := net.Listen("tcp", *metricsAddr)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "asyncmr: metrics-addr: %v\n", lerr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "asyncmr: serving metrics on http://%s/metrics\n", ln.Addr())
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+				ser := liveSeries.Load()
+				if ser == nil {
+					http.Error(w, "no series sampled yet", http.StatusServiceUnavailable)
+					return
+				}
+				metrics.Handler(ser).ServeHTTP(w, r)
+			})
+			if serr := http.Serve(ln, mux); serr != nil {
+				fmt.Fprintf(os.Stderr, "asyncmr: metrics server: %v\n", serr)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -203,6 +266,12 @@ func main() {
 	}
 	if err != nil || memErr != nil {
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		// Keep the final series scrapeable until the user interrupts —
+		// a short-lived experiment would otherwise race its scraper.
+		fmt.Fprintf(os.Stderr, "asyncmr: experiment done; metrics endpoint stays up (interrupt to exit)\n")
+		select {}
 	}
 }
 
@@ -323,6 +392,12 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		f.Render(out)
+	case "convergence":
+		f, err := s.FigureConvergence(out)
+		if err != nil {
+			return err
+		}
+		f.Render(out)
 	case "run":
 		rows, err := s.RunWorkloads(mode, s.AsyncStaleness)
 		if err != nil {
@@ -420,6 +495,11 @@ func run(s *harness.Suite, what, mode string) error {
 			return err
 		}
 		ftr.Render(out)
+		fcv, err := s.FigureConvergence(out)
+		if err != nil {
+			return err
+		}
+		fcv.Render(out)
 		fs, err := s.Scalability()
 		if err != nil {
 			return err

@@ -320,6 +320,15 @@ func NewController(pol Policy, n int) *Controller {
 //async:sched-only
 func (c *Controller) Bound(w int) int { return c.sig[w].Bound }
 
+// Signal returns a copy of worker w's current feedback signals — the
+// read port the metrics sampler uses to export the effective bound
+// S(w) and the controller's accumulated evidence without reaching into
+// controller internals. Like Bound, it must be called in event order
+// on the scheduling goroutine (the sampler's tick events are).
+//
+//async:sched-only
+func (c *Controller) Signal(w int) Signals { return c.sig[w] }
+
 // NeedsLag reports whether StepDone wants the lag signal computed.
 func (c *Controller) NeedsLag() bool { return c.needLag }
 

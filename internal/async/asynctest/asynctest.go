@@ -11,6 +11,7 @@
 package asynctest
 
 import (
+	"bytes"
 	"reflect"
 	"strconv"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/async"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/recovery"
 	"repro/internal/trace"
 )
@@ -260,19 +262,41 @@ func CheckFixedPolicyIdentity(t *testing.T, stalenesses []int, run Runner) {
 	}
 }
 
+// SeriesStats names the RunStats fields that legitimately differ
+// between a sampled and an unsampled run of the same configuration:
+// the sampling layer's own accounting. The series-inertness comparison
+// exempts exactly these; every other field must be bit-identical with
+// sampling on or off. Pinned against field drift by the same test as
+// ExecutorSpecificStats.
+var SeriesStats = map[string]bool{
+	"SeriesTicks":   true,
+	"SeriesSamples": true,
+}
+
 // statsIdentical is the trace-inertness comparison: unlike StatsEqual
 // it compares EVERY RunStats field, executor-specific counters
 // included, because both runs used the same executor — the only
 // variable is the recorder, which must change nothing.
 func statsIdentical(t *testing.T, label string, off, on *async.RunStats) {
 	t.Helper()
+	statsIdenticalExcept(t, label, "tracing", off, on, nil)
+}
+
+// statsIdenticalExcept is statsIdentical with an exemption set: the
+// series-inertness comparison passes SeriesStats, since the sampler's
+// own tick/sample counters are definitionally zero when it is off.
+func statsIdenticalExcept(t *testing.T, label, what string, off, on *async.RunStats, except map[string]bool) {
+	t.Helper()
 	ov := reflect.ValueOf(*off)
 	nv := reflect.ValueOf(*on)
 	rt := ov.Type()
 	for i := 0; i < rt.NumField(); i++ {
+		if except[rt.Field(i).Name] {
+			continue
+		}
 		if !reflect.DeepEqual(ov.Field(i).Interface(), nv.Field(i).Interface()) {
-			t.Fatalf("%s: tracing is not inert: %s diverged: %v (trace off) vs %v (trace on)\noff: %+v\non:  %+v",
-				label, rt.Field(i).Name, ov.Field(i).Interface(), nv.Field(i).Interface(), off, on)
+			t.Fatalf("%s: %s is not inert: %s diverged: %v (off) vs %v (on)\noff: %+v\non:  %+v",
+				label, what, rt.Field(i).Name, ov.Field(i).Interface(), nv.Field(i).Interface(), off, on)
 		}
 	}
 }
@@ -378,6 +402,140 @@ func CheckTraceInert(t *testing.T, stalenesses []int, tol float64, dist func(des
 	}
 	if !walled {
 		t.Fatalf("%s: live trace carries no wall stamps; StartWall was not armed", label)
+	}
+}
+
+// checkSampledPair runs the workload twice with identical options —
+// series off, then on — and fails unless the two runs are bit-identical
+// (every RunStats field except the sampler's own SeriesStats counters,
+// plus the converged state) while the sampler actually captured interior
+// ticks. The interval is derived from the unsampled run's virtual
+// duration, so DES and parallel derive the same grid. Returns the
+// captured series.
+func checkSampledPair(t *testing.T, label string, cfg *cluster.Config, opt async.Options, run Runner) *metrics.Series {
+	t.Helper()
+	opt.Series = nil
+	offStats, offState := run(t, cfg, opt)
+	ser := metrics.NewSeries(offStats.Duration/32, 0)
+	opt.Series = ser
+	onStats, onState := run(t, cfg, opt)
+	statsIdenticalExcept(t, label, "sampling", offStats, onStats, SeriesStats)
+	if !reflect.DeepEqual(offState, onState) {
+		t.Fatalf("%s: sampling is not inert: converged state diverged", label)
+	}
+	if onStats.SeriesTicks == 0 || ser.Len() < 3 {
+		t.Fatalf("%s: series captured %d samples over %d interior ticks; the inertness check is vacuous",
+			label, ser.Len(), onStats.SeriesTicks)
+	}
+	if onStats.SeriesSamples != int64(ser.Len())+int64(ser.Dropped()) {
+		t.Fatalf("%s: stats report %d samples but the series holds %d (+%d dropped)",
+			label, onStats.SeriesSamples, ser.Len(), ser.Dropped())
+	}
+	return ser
+}
+
+// CheckSeriesInert is the metrics layer's contract check: attaching a
+// metrics.Series must not change a run, and the series itself must be
+// deterministic. Covered legs: DES and parallel across two presets ×
+// stalenesses (sampled-vs-unsampled bit-identity, then the DES and
+// parallel series compared as CSV and JSON bytes — the sampler grid
+// rides the same virtual clock, so the files must be byte-identical and
+// must validate), both executors under worker crashes with checkpoints
+// (recovery interleaved with sampler ticks), and the live executor
+// against its DES oracle with the workload's usual tolerance (live
+// series are not reproducible — see the non-goal note on the live
+// sampler — so the leg asserts the convergence contract plus wall
+// stamping instead of bit-identity).
+func CheckSeriesInert(t *testing.T, stalenesses []int, tol float64, dist func(des, live any) float64, run Runner) {
+	t.Helper()
+	presets := []*cluster.Config{cluster.EC2LargeCluster(), cluster.HPCCluster()}
+	for _, cfg := range presets {
+		for _, s := range stalenesses {
+			var sers [2]*metrics.Series
+			for i, ex := range []async.Executor{async.DES, async.Parallel} {
+				opt := async.Options{Staleness: s, Executor: ex}
+				label := parityLabel(cfg, s) + "/sampled/" + ex.String()
+				sers[i] = checkSampledPair(t, label, cfg, opt, run)
+			}
+			label := parityLabel(cfg, s) + "/sampled/cross-executor"
+			var desCSV, parCSV, desJSON, parJSON bytes.Buffer
+			for i, ser := range sers {
+				csv, js := &desCSV, &desJSON
+				if i == 1 {
+					csv, js = &parCSV, &parJSON
+				}
+				if err := ser.WriteCSV(csv); err != nil {
+					t.Fatalf("%s: WriteCSV: %v", label, err)
+				}
+				if err := ser.WriteJSON(js); err != nil {
+					t.Fatalf("%s: WriteJSON: %v", label, err)
+				}
+			}
+			if !bytes.Equal(desCSV.Bytes(), parCSV.Bytes()) {
+				t.Fatalf("%s: CSV series diverged between executors:\nDES:\n%s\nParallel:\n%s",
+					label, desCSV.String(), parCSV.String())
+			}
+			if !bytes.Equal(desJSON.Bytes(), parJSON.Bytes()) {
+				t.Fatalf("%s: JSON series diverged between executors", label)
+			}
+			if _, err := metrics.ValidateSeries(desCSV.Bytes()); err != nil {
+				t.Fatalf("%s: CSV series fails validation: %v", label, err)
+			}
+			if _, err := metrics.ValidateSeries(desJSON.Bytes()); err != nil {
+				t.Fatalf("%s: JSON series fails validation: %v", label, err)
+			}
+		}
+	}
+
+	// Crash leg: crashes + checkpoints with sampler ticks interleaved on
+	// the same event heap, on both executors.
+	cfg := cluster.EC2LargeCluster()
+	s := stalenesses[len(stalenesses)-1]
+	base, _ := run(t, cfg, async.Options{Staleness: s})
+	crashy := *cfg
+	crashy.CrashMTTF = base.Duration / 4
+	for _, ex := range []async.Executor{async.DES, async.Parallel} {
+		opt := async.Options{Staleness: s, Executor: ex, Checkpoint: recovery.EverySteps(4)}
+		label := parityLabel(cfg, s) + "/sampled/crashy/" + ex.String()
+		checkSampledPair(t, label, &crashy, opt, run)
+	}
+
+	// Live leg: not reproducible run to run, so inertness is asserted as
+	// "a sampled live run still satisfies the DES-oracle contract", with
+	// wall stamps present on the samples.
+	live := *cfg
+	live.LiveNetScale = LiveNetScaleForTests
+	oracleStats, oracleState := run(t, &live, async.Options{Staleness: 2})
+	ser := metrics.NewSeries(1e-3, 0) // 1 ms real-time grid
+	opt := async.Options{Staleness: 2, Executor: async.Live, Series: ser}
+	liveStats, liveState := run(t, &live, opt)
+	label := live.Name + "/sampled/live"
+	if oracleStats.Converged && !liveStats.Converged {
+		t.Fatalf("%s: DES converged but sampled live did not", label)
+	}
+	if dist == nil {
+		if !reflect.DeepEqual(oracleState, liveState) {
+			t.Fatalf("%s: sampled live diverged from the DES oracle (exact parity expected)", label)
+		}
+	} else if d := dist(oracleState, liveState); d > tol {
+		t.Fatalf("%s: sampled live drifted %g from the DES oracle, tolerance %g", label, d, tol)
+	}
+	if ser.Len() < 2 {
+		t.Fatalf("%s: live series has %d samples, want >= 2 (setup + final)", label, ser.Len())
+	}
+	if liveStats.SeriesSamples != int64(ser.Len())+int64(ser.Dropped()) {
+		t.Fatalf("%s: stats report %d samples but the series holds %d (+%d dropped)",
+			label, liveStats.SeriesSamples, ser.Len(), ser.Dropped())
+	}
+	var walled bool
+	for _, smp := range ser.Samples() {
+		if smp.Wall > 0 {
+			walled = true
+			break
+		}
+	}
+	if !walled {
+		t.Fatalf("%s: live series carries no wall stamps", label)
 	}
 }
 

@@ -35,6 +35,22 @@ func TestStatsEqualCoversEveryField(t *testing.T) {
 		}
 	}
 
+	// SeriesStats (the series-inertness exemptions) is held to the same
+	// no-stale-names contract, and must stay disjoint from the parity
+	// exemptions: a field cannot be both executor-specific and
+	// sampler-accounting.
+	for name := range SeriesStats {
+		if !fields[name] {
+			t.Errorf("SeriesStats exempts %q, which is not a RunStats field (stale exemption?)", name)
+		}
+		if ExecutorSpecificStats[name] {
+			t.Errorf("RunStats.%s is exempted by both SeriesStats and ExecutorSpecificStats", name)
+		}
+	}
+	if len(SeriesStats) == 0 {
+		t.Error("SeriesStats is empty; the series-inertness comparison would demand identical sampler counters with sampling off")
+	}
+
 	if len(fields) <= len(ExecutorSpecificStats) {
 		t.Fatalf("RunStats has %d exported fields but %d are exempt; the parity contract is vacuous",
 			len(fields), len(ExecutorSpecificStats))

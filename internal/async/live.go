@@ -58,6 +58,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/recovery"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -146,6 +147,29 @@ type liveScheduler[D any] struct {
 	timerWG  sync.WaitGroup
 	stats    *RunStats
 	totalOps int64
+
+	// Metrics sampling (Options.Series). The sampler tick rides the
+	// timed-wake heap with the out-of-band ID len(parts) — the heap's
+	// IDs are otherwise partition indices — on a real-time grid of
+	// sampleEvery seconds from the run origin. Unlike DES/parallel the
+	// live series is NOT deterministic (it observes real interleaving);
+	// Sample.Time is the grid time, Sample.Wall the measured wall
+	// offset. The counters below are updated in runPart's locked tail
+	// (lp.steps/lp.publishes are written outside the mutex and may not
+	// be read by the sampler) and read by sampleLocked; all are guarded
+	// by mu. resid caches per-partition Progressive residuals at step
+	// completion — the sampler must not call into workload state that a
+	// concurrent Step may be mutating.
+	series        *metrics.Series
+	prog          Progressive
+	sampleEvery   simtime.Duration
+	sampleTick    int64
+	sSteps        int64
+	sPubs         int64
+	resid         []float64
+	lastSample    metrics.Sample
+	seriesTicks   int64
+	seriesSamples int64
 }
 
 // newLiveScheduler validates the workload and options and builds the
@@ -229,6 +253,17 @@ func newLiveScheduler[D any](c *cluster.Cluster, w Workload[D], opt Options) (*l
 		workers = n
 	}
 	s.pool = workpool.New(workers, s.runPart)
+	if opt.Series != nil {
+		s.series = opt.Series
+		s.sampleEvery = opt.Series.Interval()
+		if pw, ok := w.(Progressive); ok {
+			s.prog = pw
+			s.resid = make([]float64, n)
+			for p := range s.resid {
+				s.resid[p] = pw.Residual(p)
+			}
+		}
+	}
 	s.rec = opt.Trace
 	if rec := s.rec; rec != nil {
 		// Steal attribution: the hook runs on the stealing worker's
@@ -281,6 +316,15 @@ func (s *liveScheduler[D]) Admit() (int, bool) {
 func (s *liveScheduler[D]) runLive() {
 	s.start = time.Now()
 	s.rec.StartWall()
+	if s.series != nil {
+		// Setup sample at grid time 0, then the first tick on the wake
+		// heap — pushed before the timer goroutine starts, so no kick is
+		// needed.
+		s.mu.Lock()
+		s.sampleLocked(0)
+		s.timed.Push(s.sampleEvery, len(s.parts))
+		s.mu.Unlock()
+	}
 	s.timerWG.Add(1)
 	//async:pool — the executor's one goroutine besides the workpool: the timed-wake server.
 	go s.timerLoop()
@@ -416,6 +460,19 @@ func (s *liveScheduler[D]) runPart(w, p int) {
 	defer s.mu.Unlock()
 	if s.runErr != nil {
 		return
+	}
+	if s.series != nil {
+		// Mirror the step into the mutex-guarded sampling counters:
+		// lp.steps/lp.publishes above are written outside mu and may not
+		// be read by the sampler. The residual cache is refreshed here —
+		// p's step is complete and single-flight, so the read is safe.
+		s.sSteps++
+		if out.Publish {
+			s.sPubs++
+		}
+		if s.prog != nil {
+			s.resid[p] = s.prog.Residual(p)
+		}
 	}
 	if out.Publish {
 		for _, r := range lp.readers {
@@ -617,6 +674,64 @@ func (s *liveScheduler[D]) closeDoneLocked() {
 	}
 }
 
+// sampleLocked records one time-series sample at grid time at. Caller
+// holds s.mu, which guards every input: the sampling counters, the
+// residual cache, gate-wait sums (written under mu in runPart's locked
+// head), consumed cursors, and the controller (Store.Latest and the
+// pool gauges are safely concurrent on their own). Ticks are numbered
+// setup 0, interior 1..N, final N+1, like the virtual-time executors.
+//
+//async:measured — stamps Sample.Wall; recorded only, never branched on.
+func (s *liveScheduler[D]) sampleLocked(at simtime.Duration) {
+	smp := metrics.Sample{Tick: s.sampleTick, Time: at, Wall: float64(s.now()), Residual: -1}
+	if s.prog != nil {
+		smp.Residual = 0
+		for _, r := range s.resid {
+			if r > smp.Residual {
+				smp.Residual = r
+			}
+			smp.ResidualSum += r
+		}
+	}
+	smp.Steps = s.sSteps
+	smp.DeltaSteps = smp.Steps - s.lastSample.Steps
+	smp.Publishes = s.sPubs
+	smp.DeltaPublishes = smp.Publishes - s.lastSample.Publishes
+	for _, lp := range s.parts {
+		smp.GateWait += lp.gateWaitTime
+	}
+	smp.DeltaGateWait = smp.GateWait - s.lastSample.GateWait
+	boundSum := 0
+	for p, lp := range s.parts {
+		smp.StoreVersions += int64(s.store.Latest(p))
+		b := s.ctrl.Signal(p).Bound
+		if p == 0 || b < smp.BoundMin {
+			smp.BoundMin = b
+		}
+		if p == 0 || b > smp.BoundMax {
+			smp.BoundMax = b
+		}
+		boundSum += b
+		for j, q := range lp.neighbors {
+			lag := s.store.Latest(q) - lp.consumed[j]
+			if lag < 0 {
+				lag = 0
+			}
+			if lag > smp.LagMax {
+				smp.LagMax = lag
+			}
+			smp.LagHist[metrics.LagBucket(lag)]++
+		}
+	}
+	smp.BoundMean = float64(boundSum) / float64(len(s.parts))
+	smp.QueueDepth = s.pool.Queued()
+	smp.Steals = s.pool.Steals()
+	s.series.Record(smp)
+	s.seriesSamples++
+	s.lastSample = smp
+	s.sampleTick++
+}
+
 // timerLoop serves the wake heap: it sleeps until the earliest parked
 // partition's wake time, re-enqueues due partitions, and re-arms. A
 // kick on timerKick (a new earliest entry) or quit (shutdown)
@@ -644,6 +759,17 @@ func (s *liveScheduler[D]) timerLoop() {
 				break
 			}
 			s.timed.Pop()
+			if ev.ID >= len(s.parts) {
+				// Sampler tick (out-of-band ID): record and re-arm on the
+				// grid. The run's end stops the chain; the final boundary
+				// sample comes from Finish at endAt.
+				if s.runErr == nil && !s.doneClosed && s.series != nil {
+					s.seriesTicks++
+					s.sampleLocked(ev.At)
+					s.timed.Push(ev.At+s.sampleEvery, len(s.parts))
+				}
+				continue
+			}
 			if s.runErr == nil && s.parts[ev.ID].state == liveTimed {
 				s.parts[ev.ID].state = liveRunnable
 				s.pool.Submit(ev.ID)
@@ -693,6 +819,14 @@ func (s *liveScheduler[D]) Finish() (*RunStats, error) {
 	for p := range s.parts {
 		s.store.Seal(p)
 	}
+	if s.series != nil {
+		// Final boundary sample at the measured makespan. The pool and
+		// timer are stopped, so the mutex is uncontended; it is taken for
+		// the memory edge to the sampler counters.
+		s.mu.Lock()
+		s.sampleLocked(s.endAt)
+		s.mu.Unlock()
+	}
 	stats := s.stats
 	n := len(s.parts)
 	stats.PerWorkerSteps = make([]int, n)
@@ -719,6 +853,8 @@ func (s *liveScheduler[D]) Finish() (*RunStats, error) {
 	stats.AdaptCuts = s.ctrl.Cuts()
 	stats.StalenessMean = s.ctrl.StalenessMean()
 	stats.StalenessMax = s.ctrl.StalenessMax()
+	stats.SeriesTicks = s.seriesTicks
+	stats.SeriesSamples = s.seriesSamples
 
 	s.c.Account(func(m *cluster.Metrics) {
 		m.AsyncSteps += stats.Steps

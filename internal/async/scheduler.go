@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/recovery"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -129,6 +130,18 @@ type Options struct {
 	// bit-identical with Trace set or nil (asynctest.CheckTraceInert).
 	// nil disables all recording at the cost of one branch per hook.
 	Trace *trace.Recorder
+	// Series, when non-nil, records the run's fixed-interval
+	// time-series (internal/metrics): residual-vs-time, staleness
+	// occupancy, gate-wait accumulation. Samples are taken on the
+	// series' tick interval by sampler events riding the scheduler's
+	// event heap in virtual time (a real timer under Live). Sampling
+	// is inert, exactly like Trace: sampler events never touch the
+	// step-event accounting, so RunStats (apart from the
+	// SeriesTicks/SeriesSamples counters) and final workload state are
+	// bit-identical with Series set or nil
+	// (asynctest.CheckSeriesInert), and a DES and a parallel run of
+	// the same configuration record byte-identical series.
+	Series *metrics.Series
 }
 
 // StepOutcome is what one worker step hands back to the engine.
@@ -204,6 +217,26 @@ type Recoverable[D any] interface {
 	// Restore resets partition p's local state to a snapshot previously
 	// returned by Checkpoint.
 	Restore(p int, state any)
+}
+
+// Progressive is an optional Workload extension for the metrics layer
+// (Options.Series): workloads that can report a per-partition
+// convergence residual — the quantity whose trajectory toward zero is
+// the run's progress curve (the figure the paper's "same quality in
+// less time" claim lives in). Residual must be a pure read of
+// partition p's state as of its most recent completed step — no
+// mutation, no retained references — and must return a finite,
+// non-negative value; before p's first step it returns a
+// workload-defined initial estimate. The runtime reads it only at
+// canonical step boundaries on the goroutine that owns the partition's
+// state at that point, so implementations need no synchronization
+// beyond the Workload contract's.
+type Progressive interface {
+	// Residual reports partition p's current convergence residual:
+	// PageRank's last max rank delta, K-Means' last max centroid
+	// movement, SSSP's unreached-node fraction, CC's
+	// labels-lowered-last-step fraction.
+	Residual(p int) float64
 }
 
 // RunStats summarizes an asynchronous run.
@@ -296,6 +329,17 @@ type RunStats struct {
 	// than the one they were queued on — the live executor's
 	// work-stealing migrations (always 0 under DES and parallel).
 	LiveSteals int64
+	// SeriesTicks counts interior sampler ticks fired on the sampling
+	// grid (Admit's due-tick check, or the live executor's timed-wake
+	// heap), and SeriesSamples the samples recorded
+	// into the attached metrics.Series — interior ticks plus the
+	// run-start and run-end boundary samples. Both are zero when
+	// Options.Series is nil: they are the only RunStats fields a
+	// sampled run may differ from an unsampled one in
+	// (asynctest.SeriesStats), and they are deterministic across the
+	// virtual-time executors.
+	SeriesTicks   int64
+	SeriesSamples int64
 }
 
 // Scheduler is the mode-agnostic scheduling contract of the asynchronous
@@ -514,6 +558,29 @@ type core[D any] struct {
 	// rec is the optional structured-event recorder (Options.Trace).
 	// Hooks call it unconditionally: a nil recorder is a single branch.
 	rec *trace.Recorder
+
+	// Time-series sampler (Options.Series; nil = sampling off).
+	// Sampler ticks deliberately do NOT ride the event heap: the
+	// parallel executor's admission frontier is the heap head
+	// (speculate peeks it), so tick entries there would perturb
+	// speculation decisions and break inertness. Instead sampleAt
+	// holds the next tick's virtual time and Admit fires every due
+	// tick before popping an event — without touching stepEvents or
+	// the heap, so the canonical event sequence is bit-identical with
+	// or without a sampler on both executors. prog is the workload's
+	// Progressive view (nil when it has none) and resid the
+	// per-partition residual cache, refreshed at noteStep — the
+	// canonical step boundary — so a parallel run's sampler reads the
+	// same values DES would even while speculation runs workload steps
+	// early. lastSample carries the previous sample's cumulative
+	// counters for the delta fields.
+	series      *metrics.Series
+	prog        Progressive
+	resid       []float64
+	sampleEvery simtime.Duration
+	sampleAt    simtime.Duration
+	sampleTick  int64
+	lastSample  metrics.Sample
 }
 
 // newCore validates the workload and performs startup: version 0 of
@@ -620,6 +687,24 @@ func newCore[D any](c *cluster.Cluster, w Workload[D], opt Options) (*core[D], e
 			k.heap.Push(at, n+p) // crash events: IDs offset by n
 		}
 	}
+
+	// Time-series sampler setup: record the run-start sample inline at
+	// time zero (version 0 of every partition is already visible) and
+	// arm the first interior tick. The tick chain lives in sampleAt,
+	// not on the heap — see the sampler field comment.
+	if opt.Series != nil {
+		k.series = opt.Series
+		k.sampleEvery = opt.Series.Interval()
+		if pw, ok := w.(Progressive); ok {
+			k.prog = pw
+			k.resid = make([]float64, n)
+			for p := range k.resid {
+				k.resid[p] = pw.Residual(p)
+			}
+		}
+		k.recordSample(0, 0)
+		k.sampleAt = k.sampleEvery // first interior tick
+	}
 	return k, nil
 }
 
@@ -678,6 +763,17 @@ func (k *core[D]) Admit() (int, bool) {
 	for {
 		if k.stepEvents == 0 || k.err != nil {
 			return -1, false
+		}
+		if k.series != nil {
+			// Fire every sampler tick due at or before the next event —
+			// at a tie the sample is taken before the event processes.
+			// The tick chain never touches the heap (the parallel
+			// executor's admission frontier peeks its head), stepEvents,
+			// or the pending mirror, so sampling is inert.
+			if head, ok := k.heap.Peek(); ok && k.sampleAt <= head.At {
+				k.handleSample(k.sampleAt)
+				continue
+			}
 		}
 		ev := k.heap.Pop()
 		if ev.ID >= len(k.workers) {
@@ -809,6 +905,81 @@ func (k *core[D]) scheduleCrash(p int) {
 	}
 }
 
+// handleSample processes one sampler tick at virtual time at and arms
+// the next tick on the fixed grid. The chain lives entirely in
+// sampleAt — the heap, stepEvents, the pending mirror and the
+// speculation worklist are untouched: the sampler can observe the run
+// but never perturb it. Once the run drains (stepEvents hits zero),
+// Admit returns before the tick check, so residual ticks simply never
+// fire — the final boundary sample comes from Finish instead.
+//
+//async:sched-only
+func (k *core[D]) handleSample(at simtime.Duration) {
+	k.stats.SeriesTicks++
+	k.sampleTick++
+	k.recordSample(k.sampleTick, at)
+	k.sampleAt = at + k.sampleEvery
+}
+
+// recordSample reads the engine's canonical state into one Sample and
+// appends it to the series. Every quantity read here is maintained in
+// event order on the scheduling goroutine — run counters, consumed
+// versions, store heads, controller bounds, the noteStep residual
+// cache — which is exactly why a DES and a parallel run sample
+// identical values at identical ticks. Speculation-only state
+// (cursors, in-flight step results) is deliberately not sampled: it
+// advances in wall-clock order and would differ between executors.
+//
+//async:sched-only
+func (k *core[D]) recordSample(tick int64, at simtime.Duration) {
+	smp := metrics.Sample{
+		Tick:     tick,
+		Time:     at,
+		Residual: -1,
+	}
+	if k.prog != nil {
+		smp.Residual = 0
+		for _, r := range k.resid {
+			if r > smp.Residual {
+				smp.Residual = r
+			}
+			smp.ResidualSum += r
+		}
+	}
+	smp.Steps = k.stats.Steps
+	smp.DeltaSteps = smp.Steps - k.lastSample.Steps
+	smp.Publishes = k.stats.Publishes
+	smp.DeltaPublishes = smp.Publishes - k.lastSample.Publishes
+	smp.GateWait = k.stats.GateWaitTime
+	smp.DeltaGateWait = smp.GateWait - k.lastSample.GateWait
+	boundSum := 0
+	for p, st := range k.workers {
+		smp.StoreVersions += int64(k.store.Latest(p))
+		b := k.ctrl.Signal(p).Bound
+		if p == 0 || b < smp.BoundMin {
+			smp.BoundMin = b
+		}
+		if p == 0 || b > smp.BoundMax {
+			smp.BoundMax = b
+		}
+		boundSum += b
+		for j, q := range st.neighbors {
+			lag := k.store.Latest(q) - st.consumed[j]
+			if lag < 0 {
+				lag = 0
+			}
+			if lag > smp.LagMax {
+				smp.LagMax = lag
+			}
+			smp.LagHist[metrics.LagBucket(lag)]++
+		}
+	}
+	smp.BoundMean = float64(boundSum) / float64(len(k.workers))
+	k.series.Record(smp)
+	k.stats.SeriesSamples++
+	k.lastSample = smp
+}
+
 // Gate applies the staleness bound; see Scheduler. With bound S(p) —
 // the controller's bound in force for p — partition p may not run a
 // step while its publication counter leads the visible version of any
@@ -920,6 +1091,15 @@ func (k *core[D]) noteStep(p int, out StepOutcome[D]) {
 	st.quiescent = out.Quiescent
 	k.stats.Steps++
 	k.totalOps += out.Ops
+	if k.prog != nil {
+		// Refresh the sampler's residual cache at the canonical step
+		// boundary. Under the parallel executor the workload may already
+		// have speculated ahead in wall time, but noteStep runs in event
+		// order right after this step's state became canonical (the
+		// speculation consume waited on the step's completion), so the
+		// cache — and every sample built from it — matches DES exactly.
+		k.resid[p] = k.prog.Residual(p)
+	}
 }
 
 // Execute runs p's step inline on the scheduling goroutine; see
@@ -1121,6 +1301,15 @@ func (k *core[D]) Finish() (*RunStats, error) {
 	}
 	stats.Duration = latest
 	stats.MeanSteps = float64(stats.Steps) / float64(n)
+	if k.series != nil {
+		// Final boundary sample at the run's end, whether or not it
+		// lands on the tick grid: the convergence curve always ends at
+		// the converged state. Monotone by construction — the last
+		// popped tick precedes the last step event, which bounds
+		// Duration from below.
+		k.sampleTick++
+		k.recordSample(k.sampleTick, stats.Duration)
+	}
 	stats.AdaptRaises = k.ctrl.Raises()
 	stats.AdaptCuts = k.ctrl.Cuts()
 	stats.StalenessMean = k.ctrl.StalenessMean()

@@ -86,6 +86,13 @@ type asyncState struct {
 	ghostIdx  []int32
 	ghostNode []int32
 	neighbors []int
+	// lastChanged is the partition's convergence residual: the fraction
+	// of local nodes whose label the most recent step lowered (clamped
+	// to 1 — a node can be lowered more than once inside one step's
+	// sweeps). Written only by Step, so crash replay rebuilds it
+	// bit-exactly; read by async.Progressive. Starts at 1: every label
+	// is still provisional before the first step.
+	lastChanged float64
 }
 
 // asyncWorkload implements async.Workload for connected components; the
@@ -97,6 +104,11 @@ type asyncWorkload struct {
 
 func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
+
+// Residual implements async.Progressive: the fraction of the
+// partition's labels its most recent step lowered. Monotone label
+// propagation drives it to 0 exactly at quiescence.
+func (w *asyncWorkload) Residual(p int) float64 { return w.states[p].lastChanged }
 
 // asyncCkpt is one partition's checkpoint for the crash fault model:
 // labels, the active frontier, and the last published border labels are
@@ -140,6 +152,7 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID
 	st := w.states[p]
 	sub := st.sub
 	var ops int64
+	lowered := 0
 
 	// Relax against the neighbor snapshots; improvements seed the local
 	// frontier.
@@ -149,6 +162,7 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID
 		if cand < st.comp[li] {
 			st.comp[li] = cand
 			st.active[li] = true
+			lowered++
 		}
 	}
 	ops += int64(len(st.ghostNode))
@@ -173,6 +187,7 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID
 				if c < st.comp[dst] {
 					st.comp[dst] = c
 					next = append(next, dst)
+					lowered++
 				}
 			}
 			inLocal := st.inLocalAdj[st.inLocalOff[li]:st.inLocalOff[li+1]]
@@ -180,6 +195,7 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID
 				if c < st.comp[src] {
 					st.comp[src] = c
 					next = append(next, src)
+					lowered++
 				}
 			}
 			ops += int64(len(sub.OutLocal[li]) + len(inLocal))
@@ -199,6 +215,13 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]graph.NodeID
 			frontierLeft = true
 			break
 		}
+	}
+	if m := len(st.comp); m > 0 {
+		f := float64(lowered) / float64(m)
+		if f > 1 {
+			f = 1
+		}
+		st.lastChanged = f
 	}
 
 	// Publish border labels that improved; monotonicity means any
@@ -288,6 +311,8 @@ func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int
 			sub:    s,
 			comp:   make([]graph.NodeID, m),
 			active: make([]bool, m),
+			// Pre-step residual: every label is provisional.
+			lastChanged: 1,
 		}
 		for li, u := range s.Nodes {
 			st.comp[li] = u

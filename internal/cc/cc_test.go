@@ -255,3 +255,11 @@ func TestAsyncLiveMatchesDES(t *testing.T) {
 func TestAsyncTraceInert(t *testing.T) {
 	asynctest.CheckTraceInert(t, []int{0, 2}, 0, nil, asyncParityRunner(t))
 }
+
+// TestAsyncSeriesInert: attaching a metrics.Series must not change the
+// run — bit-identical stats and components on DES and parallel with
+// byte-identical series files, exact DES-oracle parity under the live
+// executor (CC is monotone; shared harness: asynctest).
+func TestAsyncSeriesInert(t *testing.T) {
+	asynctest.CheckSeriesInert(t, []int{0, 2}, 0, nil, asyncParityRunner(t))
+}

@@ -413,17 +413,35 @@ func (s *Suite) RunWorkloads(mode string, staleness int) ([]WorkloadRow, error) 
 
 	// addAsync runs one workload with a fresh per-run recorder when the
 	// suite traces (Suite.TracePath), flushes the Chrome export, and
-	// appends the row with its full stats and profile attached.
+	// appends the row with its full stats and profile attached. When the
+	// suite records time series (Suite.SeriesPath), an unsampled probe
+	// first sizes the sampling grid from the run's duration — sampling
+	// is inert, so the sampled rerun's stats are the ones reported (in
+	// live mode the two runs measure different wall clocks; the sampled
+	// run is the one on record).
 	addAsync := func(workload string, run func(async.Options) (*async.RunStats, error)) error {
 		o := opt
 		rec := s.traceRecorder()
 		o.Trace = rec
+		if s.SeriesPath != "" || s.SeriesHook != nil {
+			probe, err := run(opt)
+			if err != nil {
+				return err
+			}
+			o.Series = s.seriesFor(probe.Duration)
+			if s.SeriesHook != nil {
+				s.SeriesHook(workload, o.Series)
+			}
+		}
 		st, err := run(o)
 		if err != nil {
 			return err
 		}
 		prof, err := s.flushTrace(rec, workload, mode == "live")
 		if err != nil {
+			return err
+		}
+		if err := s.flushSeries(o.Series, workload); err != nil {
 			return err
 		}
 		rows = append(rows, WorkloadRow{workload, mode, st.MeanSteps, st.Duration.Seconds(), st.Converged, st, prof})

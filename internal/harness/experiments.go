@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kmeans"
 	"repro/internal/mapreduce"
+	"repro/internal/metrics"
 	"repro/internal/pagerank"
 	"repro/internal/partition"
 	"repro/internal/recovery"
@@ -63,6 +64,22 @@ type Suite struct {
 	// CLI's -trace flag sets it. Tracing is inert: recorded runs
 	// produce bit-identical stats and results.
 	TracePath string
+	// SeriesPath, when non-empty, attaches a time-series sampler
+	// (internal/metrics) to each async/live workload run and writes one
+	// series file per workload, splicing the workload name before the
+	// extension ("out.csv" -> "out.pagerank.csv"; a .csv extension picks
+	// the CSV writer, anything else the JSON one). Each workload first
+	// runs an unsampled probe to size the sampling grid, then reruns
+	// sampled — sampling is inert, so the sampled run's stats are the
+	// ones reported. The CLI's -series flag sets it.
+	SeriesPath string
+	// SeriesHook, when set, is called with each workload's freshly
+	// sized sampler just before its sampled run starts. Series is safe
+	// for concurrent reads, so the hook can hand the sampler to an HTTP
+	// exporter that serves the run as it happens (the CLI's
+	// -metrics-addr flag). Setting the hook enables sampling even with
+	// SeriesPath empty (no files are written then).
+	SeriesHook func(workload string, ser *metrics.Series)
 	// MaxSweepPoints caps how many partition counts a sweep visits
 	// (0 = all). Tests trim the sweep so the full-pipeline assertions
 	// run in seconds; benches and the CLI keep the complete axis.

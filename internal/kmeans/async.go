@@ -57,6 +57,12 @@ type asyncState struct {
 	// history drives oscillation detection, as in the synchronous modes.
 	history    []float64
 	oscillated bool
+	// lastMovement is the partition's convergence residual: the largest
+	// centroid movement its most recent fold observed (the quantity
+	// Quiescent thresholds). Written only by Step, so crash replay
+	// rebuilds it bit-exactly; read by async.Progressive. Seeded with the
+	// initial centroid spread so the pre-step residual is finite.
+	lastMovement float64
 	// ckpts are the ping-pong checkpoint buffers (see Checkpoint).
 	ckpts [2]asyncCkpt
 	ckptN int
@@ -75,6 +81,11 @@ type asyncWorkload struct {
 
 func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.allOthers[p] }
+
+// Residual implements async.Progressive: the largest centroid movement
+// the partition's most recent fold observed. Before the first step it
+// is the spread of the initial centroids — finite by construction.
+func (w *asyncWorkload) Residual(p int) float64 { return w.states[p].lastMovement }
 
 // asyncCkpt is one partition's checkpoint for the crash fault model:
 // the flat accumulator set, the flat centroid estimate, and the
@@ -166,6 +177,7 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]float64]) as
 		}
 	}
 	st.centroids, st.nextCentroids = next, st.centroids
+	st.lastMovement = movement
 
 	// Assign this partition's points under the new estimate.
 	newAccum := st.stepAccum
@@ -222,6 +234,17 @@ func newAsyncWorkload(points [][]float64, numParts int, cfg Config, dims int) *a
 		copy(centroids[c*dims:(c+1)*dims], points[rng.Intn(len(points))])
 	}
 	perm := rng.Perm(len(points))
+	// Pre-step residual: the spread (max pairwise distance) of the
+	// initial centroids — a finite stand-in for "nothing has converged
+	// yet" on the same scale as later movements.
+	spread := 0.0
+	for a := 0; a < cfg.K; a++ {
+		for b := a + 1; b < cfg.K; b++ {
+			if m := centroidMovement(centroids[a*dims:(a+1)*dims], centroids[b*dims:(b+1)*dims]); m > spread {
+				spread = m
+			}
+		}
+	}
 	flatLen := cfg.K * (dims + 1)
 	states := make([]*asyncState, numParts)
 	allOthers := make([][]int, numParts)
@@ -233,6 +256,7 @@ func newAsyncWorkload(points [][]float64, numParts int, cfg Config, dims int) *a
 			centroids:     append([]float64(nil), centroids...),
 			nextCentroids: make([]float64, cfg.K*dims),
 			foldSum:       make([]float64, dims),
+			lastMovement:  spread,
 		}
 		for _, pi := range perm[lo:hi] {
 			st.points = append(st.points, points[pi])

@@ -303,3 +303,23 @@ func TestAsyncTraceInert(t *testing.T) {
 	}
 	asynctest.CheckTraceInert(t, asynctest.Stalenesses(), 0.10, dist, run)
 }
+
+// TestAsyncSeriesInert: attaching a metrics.Series must not change the
+// run — bit-identical stats and centroids on DES and parallel with
+// byte-identical series files, and live clustering quality within the
+// usual SSE drift bound of the DES optimum (shared harness: asynctest).
+func TestAsyncSeriesInert(t *testing.T) {
+	pts := smallCensus(t)
+	run := func(t *testing.T, cfg *cluster.Config, opt async.Options) (*async.RunStats, any) {
+		res, err := RunAsync(cluster.New(cfg), pts, 9, DefaultConfig(0.01), opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		return res.Stats, res.Centroids
+	}
+	dist := func(des, live any) float64 {
+		d, l := sse(pts, des.([][]float64)), sse(pts, live.([][]float64))
+		return math.Abs(l-d) / d
+	}
+	asynctest.CheckSeriesInert(t, asynctest.Stalenesses(), 0.10, dist, run)
+}

@@ -1,0 +1,38 @@
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sample mimics a time-series sampler tick. A sampler in engine code
+// must derive everything from virtual time and deterministic state:
+// wall-clock stamps, jittered intervals, and label-map iteration all
+// perturb replays.
+type sample struct {
+	tick int64
+	wall float64
+}
+
+func recordSample(ticks []sample, labels map[string]float64) []sample {
+	s := sample{tick: int64(len(ticks))}
+	s.wall = float64(time.Now().UnixNano()) // want `time.Now reads the wall clock`
+	for _, v := range labels {              // want `map iteration order is unspecified`
+		s.wall += v
+	}
+	return append(ticks, s)
+}
+
+func jitteredInterval(base float64) float64 {
+	return base * (1 + rand.Float64()) // want `rand.Float64 draws from process-global randomness`
+}
+
+func flushAsync(flush func()) {
+	go flush() // want `bare go statement in deterministic engine code`
+}
+
+// A sampler whose tick chain advances by pure arithmetic on virtual
+// time stays legal.
+func nextTick(at, every float64) float64 { return at + every }
+
+var _ = []any{recordSample, jitteredInterval, flushAsync, nextTick}

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func sampleAt(tick int64, t simtime.Duration, resid float64, steps int64) Sample {
+	return Sample{Tick: tick, Time: t, Residual: resid, ResidualSum: resid, Steps: steps,
+		DeltaSteps: 1, BoundMin: 2, BoundMax: 4, BoundMean: 3, LagHist: [LagBuckets]int64{1}}
+}
+
+func TestLagBucket(t *testing.T) {
+	for _, tc := range []struct{ lag, want int }{
+		{-3, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {7, 4},
+		{8, 5}, {15, 5}, {16, 6}, {31, 6}, {32, 7}, {1000, 7},
+	} {
+		if got := LagBucket(tc.lag); got != tc.want {
+			t.Errorf("LagBucket(%d) = %d, want %d", tc.lag, got, tc.want)
+		}
+	}
+}
+
+func TestNilSeriesSafe(t *testing.T) {
+	var s *Series
+	s.Record(Sample{})
+	if s.Len() != 0 || s.Dropped() != 0 || s.Samples() != nil || s.Interval() != 0 {
+		t.Fatal("nil series accessors must return zero values")
+	}
+	if _, ok := s.Last(); ok {
+		t.Fatal("nil series Last must report empty")
+	}
+	if sum := s.Summarize(); sum.Samples != 0 {
+		t.Fatal("nil series Summarize must be empty")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	s := NewSeries(simtime.Second, 4)
+	for i := int64(0); i < 10; i++ {
+		s.Record(sampleAt(i, simtime.Duration(i), 1, i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", s.Dropped())
+	}
+	got := s.Samples()
+	for i, smp := range got {
+		if want := int64(6 + i); smp.Tick != want {
+			t.Fatalf("sample %d has tick %d, want %d (oldest-first reconstruction)", i, smp.Tick, want)
+		}
+	}
+	last, ok := s.Last()
+	if !ok || last.Tick != 9 {
+		t.Fatalf("Last = %+v ok=%v, want tick 9", last, ok)
+	}
+}
+
+func TestSummarizeAndTimeToResidual(t *testing.T) {
+	s := NewSeries(simtime.Second, 16)
+	resids := []float64{1.0, 0.5, 0.05, 0.01}
+	for i, r := range resids {
+		smp := sampleAt(int64(i), simtime.Duration(i), r, int64(i+1))
+		smp.LagMax = i
+		smp.QueueDepth = 10 - i
+		s.Record(smp)
+	}
+	sum := s.Summarize()
+	if sum.Samples != 4 || sum.Start != 0 || sum.End != 3 {
+		t.Fatalf("bad summary bounds: %+v", sum)
+	}
+	if sum.FinalResidual != 0.01 || sum.MinResidual != 0.01 {
+		t.Fatalf("bad summary residuals: %+v", sum)
+	}
+	if sum.Steps != 4 || sum.LagMax != 3 || sum.MaxQueueDepth != 10 {
+		t.Fatalf("bad summary folds: %+v", sum)
+	}
+	if sum.LagHist[0] != 4 {
+		t.Fatalf("LagHist not summed: %+v", sum.LagHist)
+	}
+	at, ok := s.TimeToResidual(0.1)
+	if !ok || at != 2 {
+		t.Fatalf("TimeToResidual(0.1) = %v, %v; want 2s, true", at, ok)
+	}
+	if _, ok := s.TimeToResidual(1e-9); ok {
+		t.Fatal("TimeToResidual below the floor must report not-reached")
+	}
+}
+
+func buildSeries() *Series {
+	s := NewSeries(simtime.Duration(0.25), 16)
+	for i := int64(0); i < 5; i++ {
+		smp := sampleAt(i, simtime.Duration(i)*0.25, 1.0/float64(i+1), 2*i)
+		smp.GateWait = simtime.Duration(i) * 0.125
+		smp.Publishes = i
+		smp.StoreVersions = i
+		s.Record(smp)
+	}
+	return s
+}
+
+func TestWritersDeterministicAndValid(t *testing.T) {
+	a, b := buildSeries(), buildSeries()
+	var csvA, csvB, jsA, jsB bytes.Buffer
+	if err := a.WriteCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteJSON(&jsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jsB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Fatal("identical series wrote different CSV bytes")
+	}
+	if !bytes.Equal(jsA.Bytes(), jsB.Bytes()) {
+		t.Fatal("identical series wrote different JSON bytes")
+	}
+	n, err := ValidateSeries(csvA.Bytes())
+	if err != nil || n != 5 {
+		t.Fatalf("ValidateSeries(csv) = %d, %v; want 5, nil", n, err)
+	}
+	n, err = ValidateSeries(jsA.Bytes())
+	if err != nil || n != 5 {
+		t.Fatalf("ValidateSeries(json) = %d, %v; want 5, nil", n, err)
+	}
+}
+
+func TestValidateSeriesRejects(t *testing.T) {
+	s := buildSeries()
+	var csv, js bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"empty":            nil,
+		"bad header":       []byte("nope,columns\n0,1\n"),
+		"short row":        []byte(csvHeader + "\n1,2,3\n"),
+		"time regression":  bytes.Replace(csv.Bytes(), []byte("\n4,1,"), []byte("\n4,0.1,"), 1),
+		"tick regression":  bytes.Replace(csv.Bytes(), []byte("\n4,1,"), []byte("\n2,1,"), 1),
+		"json not series":  []byte(`{"foo": 1}`),
+		"json bad sample":  []byte(`{"interval": 1, "dropped": 0, "samples": [{"time": 0}]}`),
+		"json time regres": bytes.Replace(js.Bytes(), []byte(`"tick": 4, "time": 1`), []byte(`"tick": 4, "time": 0.1`), 1),
+	} {
+		if _, err := ValidateSeries(data); err == nil {
+			t.Errorf("ValidateSeries accepted %s", name)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	s := buildSeries()
+	h := Handler(s)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"asyncmr_samples_total 5",
+		"asyncmr_residual 0.2",
+		"asyncmr_steps_total 8",
+		`asyncmr_lag_occupancy{bucket="0"} 1`,
+		`asyncmr_lag_occupancy{bucket="32+"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/series.json", nil))
+	var direct bytes.Buffer
+	if err := s.WriteJSON(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.String() != direct.String() {
+		t.Fatal("/series.json differs from WriteJSON output")
+	}
+	if n, err := ValidateSeries(rec.Body.Bytes()); err != nil || n != 5 {
+		t.Fatalf("served series invalid: %d, %v", n, err)
+	}
+}
+
+func TestEmptySeriesWriters(t *testing.T) {
+	s := NewSeries(simtime.Second, 4)
+	var csv, js bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateSeries(csv.Bytes()); err != nil || n != 0 {
+		t.Fatalf("empty csv: %d, %v", n, err)
+	}
+	if n, err := ValidateSeries(js.Bytes()); err != nil || n != 0 {
+		t.Fatalf("empty json: %d, %v", n, err)
+	}
+}

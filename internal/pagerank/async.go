@@ -47,6 +47,11 @@ type asyncState struct {
 	ghostIdx  []int32
 	ghostNode []int32
 	neighbors []int
+	// lastDelta is the partition's convergence residual: the largest
+	// rank delta its most recent step observed across its local sweeps
+	// (the quantity Quiescent thresholds). Written only by Step, so
+	// crash replay rebuilds it bit-exactly; read by async.Progressive.
+	lastDelta float64
 }
 
 // asyncWorkload implements async.Workload for PageRank. The published
@@ -58,6 +63,11 @@ type asyncWorkload struct {
 
 func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
+
+// Residual implements async.Progressive: the largest rank delta the
+// partition's most recent step observed. Before the first step it is
+// the initial rank magnitude (every node starts at rank 1, §V-B).
+func (w *asyncWorkload) Residual(p int) float64 { return w.states[p].lastDelta }
 
 // asyncCkpt is one partition's checkpoint for the crash fault model:
 // the mutable cross-step state is the rank vector and the last
@@ -156,6 +166,8 @@ func (w *asyncWorkload) Step(p, step int, inputs []async.Snapshot[[]float64]) as
 		}
 	}
 
+	st.lastDelta = startDelta
+
 	// Publish boundary contributions only on material change.
 	pubEps := cfg.Epsilon * publishFraction
 	changed := false
@@ -253,6 +265,7 @@ func buildAsyncWorkload(subs []*graph.SubGraph, cfg Config) (*asyncWorkload, int
 			scratch: make([]float64, m),
 			acc:     make([]float64, m),
 		}
+		st.lastDelta = 1 // pre-step residual: the initial rank magnitude
 		for li := range s.Nodes {
 			st.rank[li] = 1 // all nodes start with rank 1 (§V-B)
 			if len(s.OutRemote[li]) > 0 {

@@ -319,3 +319,22 @@ func TestAsyncTraceInert(t *testing.T) {
 	}
 	asynctest.CheckTraceInert(t, asynctest.Stalenesses(), 1e-3, dist, asyncParityRunner(t))
 }
+
+// TestAsyncSeriesInert: attaching a metrics.Series must not change the
+// run — bit-identical stats and ranks on DES and parallel (including
+// under crashes) with byte-identical series files, and the DES-oracle
+// tolerance contract under the live executor with wall-stamped samples
+// (shared harness: asynctest).
+func TestAsyncSeriesInert(t *testing.T) {
+	dist := func(des, live any) float64 {
+		a, b := des.([]float64), live.([]float64)
+		var d float64
+		for i := range a {
+			if x := math.Abs(a[i] - b[i]); x > d {
+				d = x
+			}
+		}
+		return d
+	}
+	asynctest.CheckSeriesInert(t, asynctest.Stalenesses(), 1e-3, dist, asyncParityRunner(t))
+}

@@ -48,6 +48,25 @@ type asyncWorkload struct {
 func (w *asyncWorkload) Parts() int            { return len(w.states) }
 func (w *asyncWorkload) Neighbors(p int) []int { return w.states[p].neighbors }
 
+// Residual implements async.Progressive: the fraction of local nodes
+// still unreached (distance +Inf) — the settled-fraction complement. A
+// pure scan of the distance vector, so it needs no per-step cache and
+// is exact at any boundary, including before the first step (1.0
+// everywhere but the source's partition).
+func (w *asyncWorkload) Residual(p int) float64 {
+	st := w.states[p]
+	if len(st.dist) == 0 {
+		return 0
+	}
+	unreached := 0
+	for _, d := range st.dist {
+		if math.IsInf(d, 1) {
+			unreached++
+		}
+	}
+	return float64(unreached) / float64(len(st.dist))
+}
+
 // asyncCkpt is one partition's checkpoint for the crash fault model:
 // distances, the active frontier, and the last published border
 // distances are the state that survives across steps.

@@ -159,3 +159,11 @@ func TestAsyncLiveMatchesDES(t *testing.T) {
 func TestAsyncTraceInert(t *testing.T) {
 	asynctest.CheckTraceInert(t, asynctest.Stalenesses(), 0, nil, asyncParityRunner(t))
 }
+
+// TestAsyncSeriesInert: attaching a metrics.Series must not change the
+// run — bit-identical stats and distances on DES and parallel with
+// byte-identical series files, exact DES-oracle parity under the live
+// executor (SSSP is monotone; shared harness: asynctest).
+func TestAsyncSeriesInert(t *testing.T) {
+	asynctest.CheckSeriesInert(t, asynctest.Stalenesses(), 0, nil, asyncParityRunner(t))
+}

@@ -75,6 +75,20 @@ func (p *Pool[T]) Steals() int64 {
 	return p.steals
 }
 
+// Queued returns the total number of items currently waiting in the
+// run queues, not counting items mid-execution. Safe from any
+// goroutine; a point-in-time gauge (the live executor's metrics
+// sampler reads it), not a synchronization primitive.
+func (p *Pool[T]) Queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
 // SetStealHook installs an observer invoked (on the stealing worker's
 // goroutine, after the pool mutex is released, before the item runs)
 // whenever a worker executes an item stolen from another queue. The

@@ -2,7 +2,7 @@
 # alloc_guard.sh — benchmem regression guard for the async runtime's
 # hot paths.
 #
-# Guards eight budgets:
+# Guards nine budgets:
 #
 #   1. The crash-free speculated step path
 #      (BenchmarkAsyncParallel/pagerank/parallel, ~100% of whose steps
@@ -57,11 +57,19 @@
 #      noise of the untraced row. Threshold 2750 — the tentpole's
 #      "within ~10% of the trace-off budget" bound.
 #
+#   9. The sampled speculated path (BenchmarkAsyncSeries/pagerank/parallel:
+#      the same workload as row 1 with the time-series sampler attached,
+#      every per-tick capture — residuals, staleness occupancy, store
+#      versions — firing into the preallocated ring). Samples record by
+#      value into the ring, so the only extra allocations are the per-run
+#      ring and the residual cache: ~1.8K allocs/op, within noise of the
+#      unsampled row. Threshold 2750, mirroring the traced budget.
+#
 # Except for the live row, runs are deterministic, so allocs/op is
 # stable across machines; the thresholds leave headroom for runtime/GC
 # bookkeeping noise.
 #
-# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs] [max_adaptive_allocs] [max_kmeans_allocs] [max_cc_allocs] [max_modes_allocs] [max_live_allocs] [max_traced_allocs]
+# Usage: scripts/alloc_guard.sh [max_crashfree_allocs] [max_recovery_allocs] [max_adaptive_allocs] [max_kmeans_allocs] [max_cc_allocs] [max_modes_allocs] [max_live_allocs] [max_traced_allocs] [max_series_allocs]
 set -eu
 
 max=${1:-2500}
@@ -72,6 +80,7 @@ max_cc=${5:-2500}
 max_modes=${6:-3000000}
 max_live=${7:-3000}
 max_traced=${8:-2750}
+max_series=${9:-2750}
 cd "$(dirname "$0")/.."
 
 check() {
@@ -101,3 +110,4 @@ check 'BenchmarkAsyncParallel/cc/parallel' "$max_cc"
 check 'BenchmarkAsyncModesPageRank' "$max_modes"
 check 'BenchmarkAsyncLive/pagerank/S=0' "$max_live"
 check 'BenchmarkAsyncTraced/pagerank/parallel' "$max_traced"
+check 'BenchmarkAsyncSeries/pagerank/parallel' "$max_series"

@@ -2,11 +2,12 @@
 # bench.sh — record the async-runtime performance baseline.
 #
 # Runs the async benchmarks with -benchmem and writes the parsed results
-# as JSON (default BENCH_PR9.json at the repo root) so later PRs can
-# diff allocs/op and ns/op against a committed trajectory point. The
-# committed BENCH_PR8.json was recorded BEFORE the PR 8 live executor
-# landed, so it has no BenchmarkAsyncLive rows; re-run this script as
-# scripts/bench.sh BENCH_PRn.json to extend the trajectory.
+# as JSON (default BENCH_PR10.json at the repo root) so later PRs can
+# diff allocs/op and ns/op against a committed trajectory point. Each
+# committed BENCH_PRn.json was recorded BEFORE that PR's change landed,
+# so rows for benchmarks the PR introduced are absent from its own
+# baseline; re-run this script as scripts/bench.sh BENCH_PRn.json to
+# extend the trajectory.
 #
 # A second mode diffs two recorded baselines:
 #
@@ -15,8 +16,18 @@
 # prints per-benchmark ns/op and allocs/op deltas (no jq — the JSON the
 # record mode writes is line-structured enough for awk).
 #
+# A third mode walks the whole committed trajectory:
+#
+#   scripts/bench.sh --trend [metric]
+#
+# prints one row per benchmark with the chosen metric (default
+# allocs/op; any recorded unit such as ns/op works) across every
+# BENCH_PR*.json at the repo root in PR order — the at-a-glance view of
+# how each hot path's cost has moved over the stacked sequence.
+#
 # Usage: scripts/bench.sh [output.json] [benchtime]
 #        scripts/bench.sh --compare OLD.json NEW.json
+#        scripts/bench.sh --trend [metric]
 set -eu
 
 if [ "${1:-}" = "--compare" ]; then
@@ -54,7 +65,51 @@ if [ "${1:-}" = "--compare" ]; then
 	exit 0
 fi
 
-out=${1:-BENCH_PR9.json}
+if [ "${1:-}" = "--trend" ]; then
+	metric=${2:-allocs/op}
+	cd "$(dirname "$0")/.."
+	# PR-numeric order, not lexicographic (PR10 sorts after PR9).
+	files=$(ls BENCH_PR*.json 2>/dev/null |
+		sed 's/^BENCH_PR\([0-9]*\)\.json$/\1 BENCH_PR\1.json/' | sort -n | awk '{print $2}')
+	if [ -z "$files" ]; then
+		echo "bench.sh: no BENCH_PR*.json baselines at the repo root" >&2
+		exit 1
+	fi
+	awk -v metric="$metric" '
+	function metricval(line, name,   pat, rest) {
+		pat = "\"" name "\": "
+		if (match(line, pat) == 0) return ""
+		rest = substr(line, RSTART + RLENGTH)
+		sub(/[,}].*/, "", rest)
+		return rest
+	}
+	FNR == 1 {
+		label = FILENAME
+		sub(/^BENCH_/, "", label); sub(/\.json$/, "", label)
+		labels[++nf] = label
+	}
+	/^    "Benchmark/ {
+		name = $1
+		gsub(/[":]/, "", name)
+		if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+		val[name, nf] = metricval($0, metric)
+	}
+	END {
+		printf "%-44s", "benchmark (" metric ")"
+		for (f = 1; f <= nf; f++) printf " %12s", labels[f]
+		printf "\n"
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			printf "%-44s", name
+			for (f = 1; f <= nf; f++) printf " %12s", (val[name, f] != "" ? val[name, f] : "-")
+			printf "\n"
+		}
+	}
+	' $files
+	exit 0
+fi
+
+out=${1:-BENCH_PR10.json}
 benchtime=${2:-3x}
 cd "$(dirname "$0")/.."
 
@@ -62,7 +117,7 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
 go test -run xxx \
-	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$|BenchmarkAsyncAdaptive$|BenchmarkAsyncLive$|BenchmarkAsyncTraced$' \
+	-bench 'BenchmarkAsyncParallel$|BenchmarkAsyncModesPageRank$|BenchmarkAsyncStaleness$|BenchmarkAsyncRecovery$|BenchmarkAsyncAdaptive$|BenchmarkAsyncLive$|BenchmarkAsyncTraced$|BenchmarkAsyncSeries$' \
 	-benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
 # Parse `BenchmarkName-N  iters  123 ns/op  45 B/op  6 allocs/op  0.5 metric`
